@@ -1,0 +1,222 @@
+// Package dynaspam_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (§5). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the regenerated rows once (on the first iteration)
+// and reports simulation metrics so changes in framework behaviour are
+// visible as benchmark deltas:
+//
+//	BenchmarkFig7TraceCoverage    — Figure 7 (coverage vs trace length)
+//	BenchmarkTable5ConfigLifetime — Table 5  (traces, lifetimes vs fabrics)
+//	BenchmarkFig8Speedup          — Figure 8 (speedups; the headline result)
+//	BenchmarkFig9Energy           — Figure 9 (energy breakdown)
+//	BenchmarkTable6Area           — Table 6  (area model)
+//	BenchmarkAblationNaiveMapper  — §2.2     (naive vs resource-aware mapping)
+//	BenchmarkBaselinePipeline     — host-pipeline simulation throughput
+package dynaspam_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dynaspam/internal/area"
+	"dynaspam/internal/core"
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/mapper"
+	"dynaspam/internal/stats"
+	"dynaspam/internal/workloads"
+)
+
+var printOnce sync.Map
+
+// once prints s a single time per benchmark name across -benchtime
+// iterations.
+func once(b *testing.B, s string) {
+	if _, loaded := printOnce.LoadOrStore(b.Name(), true); !loaded {
+		b.Logf("\n%s", s)
+	}
+}
+
+func BenchmarkFig7TraceCoverage(b *testing.B) {
+	ws := workloads.All()
+	lens := []int{16, 24, 32, 40}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(ws, lens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tb := stats.NewTable("Bench", "Len", "Host", "Mapping", "Fabric")
+			var fabricAt32 []float64
+			for _, r := range rows {
+				tb.AddRow(r.Workload, fmt.Sprint(r.TraceLen),
+					stats.Pct(r.HostPct), stats.Pct(r.MappedPct), stats.Pct(r.FabricPct))
+				if r.TraceLen == 32 {
+					fabricAt32 = append(fabricAt32, r.FabricPct)
+				}
+			}
+			once(b, tb.String())
+			mean := 0.0
+			for _, f := range fabricAt32 {
+				mean += f
+			}
+			b.ReportMetric(100*mean/float64(len(fabricAt32)), "fabric%@32")
+		}
+	}
+}
+
+func BenchmarkTable5ConfigLifetime(b *testing.B) {
+	ws := workloads.All()
+	counts := []int{1, 2, 4}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(ws, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tb := stats.NewTable("Bench", "Mapped", "Offloaded", "Life(1)", "Life(2)", "Life(4)")
+			for _, r := range rows {
+				tb.AddRow(r.Workload, fmt.Sprint(r.Mapped), fmt.Sprint(r.Offloaded),
+					fmt.Sprintf("%.1f", r.Lifetime[0]), fmt.Sprintf("%.1f", r.Lifetime[1]),
+					fmt.Sprintf("%.1f", r.Lifetime[2]))
+			}
+			once(b, tb.String())
+		}
+	}
+}
+
+func BenchmarkFig8Speedup(b *testing.B) {
+	ws := workloads.All()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tb := stats.NewTable("Bench", "Mapping", "Accel w/o spec", "Accel w/ spec")
+			for _, r := range rows {
+				tb.AddRowf(r.Workload, r.MappingOnly, r.AccelNoSpec, r.AccelSpec)
+			}
+			m, n, s := experiments.GeomeanSpeedups(rows)
+			tb.AddRowf("GEOMEAN", m, n, s)
+			once(b, tb.String())
+			b.ReportMetric(s, "geomean-speedup")
+			b.ReportMetric(n, "geomean-nospec")
+		}
+	}
+}
+
+func BenchmarkFig9Energy(b *testing.B) {
+	ws := workloads.All()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tb := stats.NewTable("Bench", "Baseline pJ", "DynaSpAM pJ", "Reduction")
+			for _, r := range rows {
+				tb.AddRow(r.Workload,
+					fmt.Sprintf("%.0f", r.Baseline.Total()),
+					fmt.Sprintf("%.0f", r.DynaSpAM.Total()),
+					stats.Pct(r.Reduction))
+			}
+			once(b, tb.String())
+			b.ReportMetric(100*experiments.GeomeanEnergyReduction(rows), "geomean-reduction%")
+		}
+	}
+}
+
+func BenchmarkTable6Area(b *testing.B) {
+	g := fabric.DefaultGeometry()
+	for i := 0; i < b.N; i++ {
+		report := area.Report(g)
+		if i == 0 {
+			once(b, report)
+			b.ReportMetric(area.FabricMM2(g, 8), "fabric-mm2@8")
+		}
+	}
+}
+
+func BenchmarkAblationNaiveMapper(b *testing.B) {
+	ws := workloads.All()
+	g := fabric.DefaultGeometry()
+	for i := 0; i < b.N; i++ {
+		tb := stats.NewTable("Bench", "Traces", "Naive ok", "Aware ok")
+		totalTraces, naiveTotal, awareTotal := 0, 0, 0
+		for _, w := range ws {
+			traces := experiments.SampleTraces(w, 32)
+			naiveOK, awareOK := 0, 0
+			for _, tr := range traces {
+				if _, err := mapper.MapNaive(tr, g, 0, len(tr)); err == nil {
+					naiveOK++
+				}
+				if _, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
+					awareOK++
+				}
+			}
+			totalTraces += len(traces)
+			naiveTotal += naiveOK
+			awareTotal += awareOK
+			tb.AddRow(w.Abbrev, fmt.Sprint(len(traces)), fmt.Sprint(naiveOK), fmt.Sprint(awareOK))
+		}
+		if i == 0 {
+			once(b, tb.String())
+			b.ReportMetric(100*float64(naiveTotal)/float64(totalTraces), "naive-ok%")
+			b.ReportMetric(100*float64(awareTotal)/float64(totalTraces), "aware-ok%")
+		}
+	}
+}
+
+// BenchmarkAblationPriorityPolicy isolates the contribution of the Table 2
+// priority scoring from the mapper's large scope by mapping every real
+// trace shape with the paper's policy and with a flat (reuse-blind) policy,
+// comparing allocated datapath slots.
+func BenchmarkAblationPriorityPolicy(b *testing.B) {
+	ws := workloads.All()
+	g := fabric.DefaultGeometry()
+	for i := 0; i < b.N; i++ {
+		table2Slots, flatSlots, both := 0, 0, 0
+		for _, w := range ws {
+			for _, tr := range experiments.SampleTraces(w, 32) {
+				a, errA := mapper.MapStaticPolicy(tr, g, 0, len(tr), mapper.Table2Policy)
+				f, errF := mapper.MapStaticPolicy(tr, g, 0, len(tr), mapper.FlatPolicy)
+				if errA == nil && errF == nil {
+					both++
+					table2Slots += a.DatapathSlots
+					flatSlots += f.DatapathSlots
+				}
+			}
+		}
+		if i == 0 {
+			once(b, fmt.Sprintf("traces mapped by both policies: %d\nTable 2 datapath slots: %d\nflat policy datapath slots: %d",
+				both, table2Slots, flatSlots))
+			b.ReportMetric(float64(table2Slots)/float64(both), "table2-slots/trace")
+			b.ReportMetric(float64(flatSlots)/float64(both), "flat-slots/trace")
+		}
+	}
+}
+
+// BenchmarkBaselinePipeline measures raw simulation throughput of the host
+// pipeline (cycles simulated per second), a sanity anchor for the other
+// benchmarks' wall times.
+func BenchmarkBaselinePipeline(b *testing.B) {
+	w, err := workloads.ByAbbrev("HS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Mode = core.ModeBaseline
+	cycles := uint64(0)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(w, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}

@@ -1,0 +1,99 @@
+// Command dynaspam runs one benchmark under a chosen DynaSpAM configuration
+// and prints the run's statistics.
+//
+// Usage:
+//
+//	dynaspam -bench KM -mode accel-spec -tracelen 32 -fabrics 1
+//	dynaspam -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/energy"
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/stats"
+	"dynaspam/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "PF", "benchmark abbreviation (see -list)")
+		modeName  = flag.String("mode", "accel-spec", "baseline | mapping | accel-nospec | accel-spec")
+		traceLen  = flag.Int("tracelen", 32, "trace length cap in instructions")
+		fabrics   = flag.Int("fabrics", 1, "number of physical fabrics")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		tb := stats.NewTable("Abbrev", "Name", "Domain")
+		for _, w := range workloads.All() {
+			tb.AddRow(w.Abbrev, w.Name, w.Domain)
+		}
+		fmt.Print(tb.String())
+		return
+	}
+
+	var mode core.Mode
+	switch *modeName {
+	case "baseline":
+		mode = core.ModeBaseline
+	case "mapping":
+		mode = core.ModeMappingOnly
+	case "accel-nospec":
+		mode = core.ModeAccelNoSpec
+	case "accel-spec":
+		mode = core.ModeAccel
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	w, err := workloads.ByAbbrev(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	params := core.DefaultParams()
+	params.Mode = mode
+	params.TraceLen = *traceLen
+	params.NumFabrics = *fabrics
+
+	res, err := experiments.Run(w, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s (%s) under %v\n\n", w.Name, w.Abbrev, mode)
+	tb := stats.NewTable("Metric", "Value")
+	tb.AddRowf("cycles", fmt.Sprintf("%d", res.Cycles))
+	tb.AddRowf("instructions", fmt.Sprintf("%d", res.Committed))
+	tb.AddRowf("IPC", res.IPC)
+	tb.AddRowf("host instructions", fmt.Sprintf("%d (%s)", res.HostOps, stats.Pct(float64(res.HostOps)/float64(res.Committed))))
+	tb.AddRowf("mapping instructions", fmt.Sprintf("%d (%s)", res.MappedOps, stats.Pct(float64(res.MappedOps)/float64(res.Committed))))
+	tb.AddRowf("fabric instructions", fmt.Sprintf("%d (%s)", res.FabricOps, stats.Pct(float64(res.FabricOps)/float64(res.Committed))))
+	tb.AddRowf("traces mapped", fmt.Sprintf("%d", res.MappedTraces))
+	tb.AddRowf("traces offloaded", fmt.Sprintf("%d", res.OffloadedTraces))
+	tb.AddRowf("invocations", fmt.Sprintf("%d", res.Core.Offloads))
+	tb.AddRowf("invocation commits", fmt.Sprintf("%d", res.Core.TraceCommits))
+	tb.AddRowf("invocation squashes", fmt.Sprintf("%d", res.Core.TraceSquashes))
+	tb.AddRowf("avg config lifetime", res.AvgConfigLife)
+	tb.AddRowf("reconfigurations", fmt.Sprintf("%d", res.Reconfigs))
+	tb.AddRowf("branch mispredicts", fmt.Sprintf("%d", res.CPU.BranchMispredicts))
+	tb.AddRowf("memory violations", fmt.Sprintf("%d", res.CPU.MemViolations))
+	fmt.Print(tb.String())
+
+	fmt.Printf("\nEnergy breakdown (pJ):\n")
+	eb := stats.NewTable("Component", "Energy")
+	for c := energy.Component(0); c < energy.NumComponents; c++ {
+		eb.AddRowf(c.String(), res.Energy[c])
+	}
+	eb.AddRowf("TOTAL", res.Energy.Total())
+	fmt.Print(eb.String())
+}

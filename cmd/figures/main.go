@@ -1,0 +1,184 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section against the Go reproduction:
+//
+//	figures            # everything
+//	figures -fig 7     # Figure 7  (trace coverage vs trace length)
+//	figures -fig t5    # Table 5   (traces and configuration lifetimes)
+//	figures -fig 8     # Figure 8  (speedups over the host pipeline)
+//	figures -fig 9     # Figure 9  (energy breakdown)
+//	figures -fig t6    # Table 6   (area)
+//	figures -fig ablation  # §2.2 naive vs resource-aware mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaspam/internal/area"
+	"dynaspam/internal/energy"
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/mapper"
+	"dynaspam/internal/stats"
+	"dynaspam/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table: 7, t5, 8, 9, t6, ablation, all")
+	flag.Parse()
+
+	ws := workloads.All()
+	var err error
+	switch *fig {
+	case "7":
+		err = fig7(ws)
+	case "t5":
+		err = table5(ws)
+	case "8":
+		err = fig8(ws)
+	case "9":
+		err = fig9(ws)
+	case "t6":
+		table6()
+	case "ablation":
+		err = ablation(ws)
+	case "all":
+		for _, f := range []func([]*workloads.Workload) error{fig7, table5, fig8, fig9} {
+			if err = f(ws); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+		if err == nil {
+			table6()
+			fmt.Println()
+			err = ablation(ws)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func fig7(ws []*workloads.Workload) error {
+	fmt.Println("=== Figure 7: dynamic instruction placement vs trace length ===")
+	lens := []int{16, 24, 32, 40}
+	rows, err := experiments.Fig7(ws, lens)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("Bench", "Len", "Host", "Mapping", "Fabric")
+	for _, r := range rows {
+		tb.AddRow(r.Workload, fmt.Sprint(r.TraceLen),
+			stats.Pct(r.HostPct), stats.Pct(r.MappedPct), stats.Pct(r.FabricPct))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func table5(ws []*workloads.Workload) error {
+	fmt.Println("=== Table 5: detected traces and configuration lifetimes ===")
+	counts := []int{1, 2, 4}
+	rows, err := experiments.Table5(ws, counts)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("Bench", "Mapped", "Offloaded", "Life(1)", "Life(2)", "Life(4)")
+	for _, r := range rows {
+		tb.AddRow(r.Workload, fmt.Sprint(r.Mapped), fmt.Sprint(r.Offloaded),
+			fmt.Sprintf("%.1f", r.Lifetime[0]), fmt.Sprintf("%.1f", r.Lifetime[1]),
+			fmt.Sprintf("%.1f", r.Lifetime[2]))
+	}
+	fmt.Print(tb.String())
+
+	// The paper's §5.2 quotes BFS with 8 fabrics as the limit case.
+	bfs, err := workloads.ByAbbrev("BFS")
+	if err != nil {
+		return err
+	}
+	r8, err := experiments.Table5([]*workloads.Workload{bfs}, []int{8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BFS with 8 fabrics: avg configuration lifetime %.1f invocations\n", r8[0].Lifetime[0])
+	return nil
+}
+
+func fig8(ws []*workloads.Workload) error {
+	fmt.Println("=== Figure 8: speedup vs host OOO pipeline ===")
+	rows, err := experiments.Fig8(ws)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("Bench", "Mapping", "Accel w/o spec", "Accel w/ spec")
+	for _, r := range rows {
+		tb.AddRowf(r.Workload, r.MappingOnly, r.AccelNoSpec, r.AccelSpec)
+	}
+	m, n, s := experiments.GeomeanSpeedups(rows)
+	tb.AddRowf("GEOMEAN", m, n, s)
+	fmt.Print(tb.String())
+	return nil
+}
+
+func fig9(ws []*workloads.Workload) error {
+	fmt.Println("=== Figure 9: energy by component (baseline -> DynaSpAM) ===")
+	rows, err := experiments.Fig9(ws)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("Bench", "Fetch", "Rename", "InstSched", "Exec", "Datapath", "Memory", "Fabric", "Reduction")
+	rel := func(r experiments.Fig9Row, c energy.Component) string {
+		return fmt.Sprintf("%.2f", stats.Ratio(r.DynaSpAM[c], r.Baseline.Total())*100) + "%"
+	}
+	_ = rel
+	for _, r := range rows {
+		cell := func(c energy.Component) string {
+			return fmt.Sprintf("%.0f->%.0f", r.Baseline[c]/1000, r.DynaSpAM[c]/1000)
+		}
+		tb.AddRow(r.Workload, cell(energy.Fetch), cell(energy.Rename), cell(energy.InstSchedule),
+			cell(energy.Execution), cell(energy.Datapath), cell(energy.Memory), cell(energy.Fabric),
+			stats.Pct(r.Reduction))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("Geomean energy reduction: %s\n", stats.Pct(experiments.GeomeanEnergyReduction(rows)))
+	return nil
+}
+
+func table6() {
+	fmt.Println("=== Table 6: area ===")
+	fmt.Print(area.Report(fabric.DefaultGeometry()))
+}
+
+// ablation reproduces §2.2 / Figure 2: the naive program-order mapper
+// against the resource-aware mapper on every hot trace shape the workloads
+// produce, measuring feasibility and routing cost.
+func ablation(ws []*workloads.Workload) error {
+	fmt.Println("=== Ablation: naive vs resource-aware mapping (§2.2, Figure 2) ===")
+	g := fabric.DefaultGeometry()
+	tb := stats.NewTable("Bench", "Traces", "Naive ok", "Aware ok", "Naive slots", "Aware slots")
+	for _, w := range ws {
+		traces := experiments.SampleTraces(w, 32)
+		naiveOK, awareOK := 0, 0
+		naiveSlots, awareSlots := 0, 0
+		for _, tr := range traces {
+			if cfg, err := mapper.MapNaive(tr, g, 0, len(tr)); err == nil {
+				naiveOK++
+				naiveSlots += cfg.DatapathSlots
+			}
+			if cfg, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
+				awareOK++
+				awareSlots += cfg.DatapathSlots
+			}
+		}
+		tb.AddRow(w.Abbrev, fmt.Sprint(len(traces)),
+			fmt.Sprint(naiveOK), fmt.Sprint(awareOK),
+			fmt.Sprint(naiveSlots), fmt.Sprint(awareSlots))
+	}
+	fmt.Print(tb.String())
+	return nil
+}

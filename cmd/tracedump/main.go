@@ -1,0 +1,58 @@
+// Command tracedump extracts a workload's hot trace shapes and renders
+// their fabric mappings stripe by stripe — a lens into what the
+// resource-aware mapper actually produces.
+//
+//	tracedump -bench NW           # map every distinct trace shape
+//	tracedump -bench NW -n 1      # just the first
+//	tracedump -bench NW -naive    # with the program-order baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/mapper"
+	"dynaspam/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "NW", "benchmark abbreviation")
+	limit := flag.Int("n", 3, "maximum traces to dump (0 = all)")
+	naive := flag.Bool("naive", false, "use the naive program-order mapper")
+	flag.Parse()
+
+	w, err := workloads.ByAbbrev(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	g := fabric.DefaultGeometry()
+	traces := experiments.SampleTraces(w, 32)
+	fmt.Printf("%s: %d distinct trace shapes\n\n", w.Name, len(traces))
+
+	shown := 0
+	for i, tr := range traces {
+		if *limit > 0 && shown >= *limit {
+			break
+		}
+		var cfg *fabric.Config
+		if *naive {
+			cfg, err = mapper.MapNaive(tr, g, tr[0].PC, tr[len(tr)-1].PC+1)
+		} else {
+			cfg, err = mapper.MapStatic(tr, g, tr[0].PC, tr[len(tr)-1].PC+1)
+		}
+		if err != nil {
+			fmt.Printf("--- trace %d: UNMAPPABLE: %v\n\n", i, err)
+			shown++
+			continue
+		}
+		overall, peak := cfg.Utilization(g)
+		fmt.Printf("--- trace %d (PE utilization %.1f%%, busiest pool %.1f%%)\n",
+			i, 100*overall, 100*peak)
+		fmt.Println(cfg.Render(g))
+		shown++
+	}
+}

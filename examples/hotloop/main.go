@@ -1,0 +1,58 @@
+// Hotloop: watch DynaSpAM's trace lifecycle on a PathFinder-style dynamic
+// programming kernel — detection, the mapping session, offloading, and the
+// occasional squash — by sampling the framework's statistics as the run
+// progresses.
+//
+//	go run ./examples/hotloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByAbbrev("PF")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (%s)\n\n", w.Name, w.Domain)
+
+	params := core.DefaultParams()
+	res, err := experiments.Run(w, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := res.Core
+	fmt.Println("trace lifecycle:")
+	fmt.Printf("  hot traces detected:     %d\n", st.TracesDetected)
+	fmt.Printf("  mapping sessions:        %d (aborted %d, structurally failed %d)\n",
+		st.MappingSessions, st.MappingAborted, st.MappingFailed)
+	fmt.Printf("  configurations produced: %d\n", st.TracesMapped)
+	fmt.Printf("  invocations injected:    %d\n", st.Offloads)
+	fmt.Printf("  invocations committed:   %d\n", st.TraceCommits)
+	fmt.Printf("  squashes:                %d (branch exits %d, memory order %d, external %d)\n",
+		st.TraceSquashes, st.BranchExits, st.MemOrderKills, st.ExternalKills)
+
+	fmt.Println("\nwhere instructions retired:")
+	fmt.Printf("  host pipeline:   %d\n", res.HostOps)
+	fmt.Printf("  during mapping:  %d\n", res.MappedOps)
+	fmt.Printf("  spatial fabric:  %d\n", res.FabricOps)
+
+	fmt.Println("\nperformance:")
+	base, err := experiments.Run(w, func() core.Params {
+		p := core.DefaultParams()
+		p.Mode = core.ModeBaseline
+		return p
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  baseline: %d cycles, DynaSpAM: %d cycles — speedup %.2fx\n",
+		base.Cycles, res.Cycles, float64(base.Cycles)/float64(res.Cycles))
+}

@@ -1,0 +1,3 @@
+module dynaspam
+
+go 1.22

@@ -1,0 +1,104 @@
+// Package area models silicon area for the DynaSpAM fabric, reproducing
+// Table 6 of the paper. The per-module figures are the paper's own 32nm
+// synthesis results for OpenSparc T1 functional units and the custom
+// datapath/FIFO blocks; the package composes them into fabric totals and the
+// CACTI-derived configuration-cache area.
+package area
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/isa"
+)
+
+// Module areas in µm² at 32nm (Table 6).
+const (
+	SparcEXUALU = 4660  // sparc_exu_alu
+	SparcMulTop = 47752 // sparc_mul_top
+	SparcEXUDiv = 11227 // sparc_exu_div
+	FPUAdd      = 34370 // fpu_add
+	FPUMul      = 62488 // fpu_mul
+	FPUDiv      = 13769 // fpu_div
+	DataPath    = 4717  // pass registers + multiplexers per PE
+	FIFO        = 848   // one live-in/live-out FIFO
+)
+
+// ConfigCacheMM2 is the CACTI estimate for the 16-entry configuration cache
+// in mm² (§5.2).
+const ConfigCacheMM2 = 0.003
+
+// Entry is one row of the module table.
+type Entry struct {
+	Name string
+	UM2  float64 // area in µm²
+}
+
+// ModuleTable returns Table 6's per-module areas.
+func ModuleTable() []Entry {
+	return []Entry{
+		{"sparc_exu_alu", SparcEXUALU},
+		{"fpu_add", FPUAdd},
+		{"sparc_mul_top", SparcMulTop},
+		{"fpu_mul", FPUMul},
+		{"sparc_exu_div", SparcEXUDiv},
+		{"fpu_div", FPUDiv},
+		{"data_path", DataPath},
+		{"fifo", FIFO},
+	}
+}
+
+// fuArea returns the area of one functional unit of the given pool. The
+// shared int mul/div (and FP mul/div) pools pair the multiplier with the
+// divider as in the OpenSparc EXU.
+func fuArea(t isa.FUType) float64 {
+	switch t {
+	case isa.FUIntALU:
+		return SparcEXUALU
+	case isa.FUIntMulDiv:
+		return SparcMulTop + SparcEXUDiv
+	case isa.FUFPALU:
+		return FPUAdd
+	case isa.FUFPMulDiv:
+		return FPUMul + FPUDiv
+	case isa.FULdSt:
+		// A load/store unit is address generation (ALU-class) plus its
+		// reservation buffer (FIFO-class).
+		return SparcEXUALU + FIFO
+	}
+	return 0
+}
+
+// StripeUM2 returns the area of one stripe of geometry g: its functional
+// units plus one datapath block (pass registers and multiplexers) per PE.
+func StripeUM2(g fabric.Geometry) float64 {
+	total := 0.0
+	for t := isa.FUType(0); t < isa.NumFUTypes; t++ {
+		total += float64(g.FUsPerStripe[t]) * fuArea(t)
+	}
+	total += float64(g.PEsPerStripe()) * DataPath
+	return total
+}
+
+// FabricMM2 returns the total fabric area in mm² for n stripes of geometry
+// g, including the live-in/live-out FIFOs.
+func FabricMM2(g fabric.Geometry, stripes int) float64 {
+	um2 := StripeUM2(g) * float64(stripes)
+	um2 += float64(g.LiveInFIFOs+g.LiveOutFIFOs) * FIFO
+	return um2 / 1e6
+}
+
+// Report renders the module table and fabric totals as fixed-width text.
+func Report(g fabric.Geometry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s\n", "Module", "Area(um^2)")
+	for _, e := range ModuleTable() {
+		fmt.Fprintf(&b, "%-16s %10.0f\n", e.Name, e.UM2)
+	}
+	fmt.Fprintf(&b, "\nStripe area:          %8.4f mm^2\n", StripeUM2(g)/1e6)
+	fmt.Fprintf(&b, "Fabric (8 stripes):   %8.2f mm^2\n", FabricMM2(g, 8))
+	fmt.Fprintf(&b, "Fabric (%2d stripes):  %8.2f mm^2\n", g.Stripes, FabricMM2(g, g.Stripes))
+	fmt.Fprintf(&b, "Config cache:         %8.3f mm^2\n", ConfigCacheMM2)
+	return b.String()
+}

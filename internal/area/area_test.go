@@ -1,0 +1,71 @@
+package area
+
+import (
+	"strings"
+	"testing"
+
+	"dynaspam/internal/fabric"
+)
+
+func TestModuleTableMatchesPaper(t *testing.T) {
+	want := map[string]float64{
+		"sparc_exu_alu": 4660,
+		"sparc_mul_top": 47752,
+		"sparc_exu_div": 11227,
+		"fpu_add":       34370,
+		"fpu_mul":       62488,
+		"fpu_div":       13769,
+		"data_path":     4717,
+		"fifo":          848,
+	}
+	for _, e := range ModuleTable() {
+		if want[e.Name] != e.UM2 {
+			t.Errorf("%s = %v, want %v", e.Name, e.UM2, want[e.Name])
+		}
+		delete(want, e.Name)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing modules: %v", want)
+	}
+}
+
+func TestDatapathComparableToALU(t *testing.T) {
+	// §5.2: "the datapath block is almost as large as an OpenSparc T1
+	// integer ALU".
+	ratio := float64(DataPath) / float64(SparcEXUALU)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("datapath/ALU ratio = %v, want ≈ 1", ratio)
+	}
+	if FIFO >= DataPath/2 {
+		t.Error("FIFO should be much smaller than datapath block")
+	}
+}
+
+func TestFabricTotalNearPaper(t *testing.T) {
+	// The paper reports ≈2.9 mm² for 8 stripes of the Table 4 FU mix.
+	g := fabric.DefaultGeometry()
+	got := FabricMM2(g, 8)
+	if got < 2.3 || got > 3.5 {
+		t.Errorf("8-stripe fabric = %.2f mm², want ≈ 2.9", got)
+	}
+}
+
+func TestFabricScalesWithStripes(t *testing.T) {
+	g := fabric.DefaultGeometry()
+	if FabricMM2(g, 16) <= FabricMM2(g, 8) {
+		t.Error("area not increasing with stripes")
+	}
+	// FIFO contribution is shared, so 16 stripes < 2× 8 stripes.
+	if FabricMM2(g, 16) >= 2*FabricMM2(g, 8) {
+		t.Error("per-stripe area not dominant")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	r := Report(fabric.DefaultGeometry())
+	for _, want := range []string{"sparc_exu_alu", "fifo", "Fabric (8 stripes)", "Config cache", "0.003"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Report missing %q:\n%s", want, r)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package cfgcache implements DynaSpAM's configuration cache (§3.1) and the
+// multi-fabric reconfiguration manager used in the Table 5 experiment.
+//
+// A mapped trace's fabric configuration is stored under its TraceKey with a
+// saturating counter: the counter increments each time fetch predicts the
+// trace again, and only once it reaches a threshold is the entry marked
+// ready and offloading begins. This filters out traces that were mapped but
+// execute too rarely to amortize a reconfiguration. Counters decay
+// periodically so stale traces release their fabric.
+//
+// The Fabrics manager holds N physical fabric instances and assigns
+// configurations to them with an LRU policy, tracking configuration lifetime
+// (invocations between reconfigurations) per the paper's Table 5.
+package cfgcache
+
+import (
+	"fmt"
+
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/tcache"
+)
+
+// State is the lifecycle of a configuration entry.
+type State int
+
+const (
+	// StateMapped: configuration produced, counter still warming up.
+	StateMapped State = iota
+	// StateReady: counter crossed the threshold; offloading enabled.
+	StateReady
+)
+
+// Config sets cache geometry (Table 4: 16-entry, 3-bit counters, threshold
+// 4).
+type Config struct {
+	Entries       int
+	Threshold     uint32
+	CounterMax    uint32
+	DecayInterval int // decay counters every N predictions; 0 disables
+}
+
+// DefaultConfig returns the Table 4 configuration-cache setting.
+func DefaultConfig() Config {
+	return Config{Entries: 16, Threshold: 4, CounterMax: 7, DecayInterval: 1 << 14}
+}
+
+// Entry is one stored configuration.
+type Entry struct {
+	Key     tcache.TraceKey
+	Cfg     *fabric.Config
+	State   State
+	counter uint32
+	lruTick uint64
+}
+
+// Counter returns the entry's saturating counter.
+func (e *Entry) Counter() uint32 { return e.counter }
+
+// Cache is the configuration cache.
+type Cache struct {
+	cfg     Config
+	entries map[tcache.TraceKey]*Entry
+	tick    uint64
+	preds   int
+
+	stats Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Stored      uint64
+	Ready       uint64
+	Evictions   uint64
+	Predictions uint64
+	Decays      uint64
+}
+
+// New returns an empty configuration cache.
+func New(cfg Config) *Cache {
+	if cfg.Entries <= 0 || cfg.Threshold == 0 || cfg.CounterMax < cfg.Threshold {
+		panic(fmt.Sprintf("cfgcache: bad config %+v", cfg))
+	}
+	return &Cache{cfg: cfg, entries: make(map[tcache.TraceKey]*Entry)}
+}
+
+// Store records a freshly mapped configuration under key with a zeroed
+// counter (the mapping phase just completed).
+func (c *Cache) Store(key tcache.TraceKey, fc *fabric.Config) *Entry {
+	c.tick++
+	if len(c.entries) >= c.cfg.Entries {
+		if _, exists := c.entries[key]; !exists {
+			var victim *Entry
+			for _, e := range c.entries {
+				if victim == nil || e.lruTick < victim.lruTick {
+					victim = e
+				}
+			}
+			delete(c.entries, victim.Key)
+			c.stats.Evictions++
+		}
+	}
+	e := &Entry{Key: key, Cfg: fc, State: StateMapped, lruTick: c.tick}
+	c.entries[key] = e
+	c.stats.Stored++
+	return e
+}
+
+// Lookup returns the entry for key, or nil.
+func (c *Cache) Lookup(key tcache.TraceKey) *Entry {
+	e := c.entries[key]
+	if e != nil {
+		c.tick++
+		e.lruTick = c.tick
+	}
+	return e
+}
+
+// Predicted notes that fetch predicted the trace again; it bumps the
+// saturating counter and promotes the entry to ready at the threshold.
+// It returns the entry's new state (and false if the key is unknown).
+func (c *Cache) Predicted(key tcache.TraceKey) (State, bool) {
+	e := c.Lookup(key)
+	if e == nil {
+		return StateMapped, false
+	}
+	c.stats.Predictions++
+	if e.counter < c.cfg.CounterMax {
+		e.counter++
+	}
+	if e.State == StateMapped && e.counter >= c.cfg.Threshold {
+		e.State = StateReady
+		c.stats.Ready++
+	}
+	c.maybeDecay()
+	return e.State, true
+}
+
+// Invalidate removes key (e.g. the trace proved unprofitable).
+func (c *Cache) Invalidate(key tcache.TraceKey) { delete(c.entries, key) }
+
+// Len returns the number of stored configurations.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) maybeDecay() {
+	if c.cfg.DecayInterval <= 0 {
+		return
+	}
+	c.preds++
+	if c.preds < c.cfg.DecayInterval {
+		return
+	}
+	c.preds = 0
+	c.stats.Decays++
+	for _, e := range c.entries {
+		e.counter /= 2
+		if e.counter < c.cfg.Threshold {
+			e.State = StateMapped
+		}
+	}
+}
+
+// Fabrics manages N physical fabrics with LRU reconfiguration and records
+// per-configuration lifetimes (Table 5).
+type Fabrics struct {
+	insts   []*fabric.Fabric
+	keys    []tcache.TraceKey
+	lru     []uint64
+	current []uint64 // invocations since last reconfiguration per fabric
+	tick    uint64
+
+	// ReconfigPenalty is the startup delay charged to the first
+	// invocation after a reconfiguration.
+	ReconfigPenalty int
+
+	lifetimes   []uint64 // completed configuration lifetimes
+	reconfigs   uint64
+	invocations uint64
+}
+
+// NewFabrics builds n fabrics of geometry g.
+func NewFabrics(n int, g fabric.Geometry, reconfigPenalty int) *Fabrics {
+	if n <= 0 {
+		panic("cfgcache: need at least one fabric")
+	}
+	f := &Fabrics{
+		insts:           make([]*fabric.Fabric, n),
+		keys:            make([]tcache.TraceKey, n),
+		lru:             make([]uint64, n),
+		current:         make([]uint64, n),
+		ReconfigPenalty: reconfigPenalty,
+	}
+	for i := range f.insts {
+		f.insts[i] = fabric.New(g)
+	}
+	return f
+}
+
+// Acquire returns the fabric configured for (key, cfg), reconfiguring the
+// LRU fabric if necessary, plus the startup penalty for the next invocation
+// (nonzero only right after reconfiguration).
+func (f *Fabrics) Acquire(key tcache.TraceKey, cfg *fabric.Config) (*fabric.Fabric, int) {
+	f.tick++
+	for i, inst := range f.insts {
+		if inst.Configured() == cfg {
+			f.lru[i] = f.tick
+			return inst, 0
+		}
+	}
+	// Reconfigure the LRU fabric.
+	victim := 0
+	for i := range f.insts {
+		if f.lru[i] < f.lru[victim] {
+			victim = i
+		}
+	}
+	inst := f.insts[victim]
+	if inst.Configured() != nil {
+		f.lifetimes = append(f.lifetimes, f.current[victim])
+	}
+	f.current[victim] = 0
+	f.keys[victim] = key
+	f.lru[victim] = f.tick
+	f.reconfigs++
+	inst.Configure(cfg, f.ReconfigPenalty)
+	return inst, f.ReconfigPenalty
+}
+
+// NoteInvocation records one invocation on the fabric currently holding cfg.
+func (f *Fabrics) NoteInvocation(cfg *fabric.Config) {
+	f.invocations++
+	for i, inst := range f.insts {
+		if inst.Configured() == cfg {
+			f.current[i]++
+			return
+		}
+	}
+}
+
+// AvgLifetime returns the mean number of invocations per configuration,
+// counting both completed lifetimes and the live ones.
+func (f *Fabrics) AvgLifetime() float64 {
+	total := uint64(0)
+	n := 0
+	for _, l := range f.lifetimes {
+		total += l
+		n++
+	}
+	for i, inst := range f.insts {
+		if inst.Configured() != nil {
+			total += f.current[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Reconfigurations returns how many times any fabric was reprogrammed.
+func (f *Fabrics) Reconfigurations() uint64 { return f.reconfigs }
+
+// Invocations returns the total invocations across fabrics.
+func (f *Fabrics) Invocations() uint64 { return f.invocations }
+
+// NumFabrics returns the number of managed fabrics.
+func (f *Fabrics) NumFabrics() int { return len(f.insts) }
+
+// Instance returns fabric i (for stats aggregation).
+func (f *Fabrics) Instance(i int) *fabric.Fabric { return f.insts[i] }

@@ -1,0 +1,176 @@
+// Package energy models per-component energy consumption in the style of
+// McPAT: every microarchitectural event (fetch, rename, wakeup/select,
+// functional-unit operation, register/bypass transfer, cache access, fabric
+// activity) is charged a fixed per-event energy, and static power accrues
+// per cycle per powered component.
+//
+// Absolute joules are not the point — the paper's Figure 9 reports the
+// per-component breakdown of DynaSpAM relative to the host pipeline, and
+// this model preserves those relations: offloaded instructions skip the
+// front-end (fetch/decode/rename), the issue window, and the bypass network,
+// paying instead for fabric functional units, pass registers, and FIFO
+// transfers, while memory-system energy is unchanged or slightly higher.
+package energy
+
+import (
+	"dynaspam/internal/cache"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/isa"
+	"dynaspam/internal/ooo"
+)
+
+// Component is one energy account, matching Figure 9's legend.
+type Component int
+
+const (
+	Fetch Component = iota
+	Rename
+	InstSchedule
+	Execution
+	Datapath // register file reads/writes + bypass network
+	Memory   // caches + DRAM
+	Fabric   // fabric FUs + pass registers + FIFOs + config loads
+	NumComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case Fetch:
+		return "Fetch"
+	case Rename:
+		return "Rename"
+	case InstSchedule:
+		return "InstSchedule"
+	case Execution:
+		return "Execution"
+	case Datapath:
+		return "Datapath"
+	case Memory:
+		return "Memory"
+	case Fabric:
+		return "Fabric"
+	}
+	return "?"
+}
+
+// Model holds per-event energies in picojoules. The defaults are
+// order-of-magnitude figures for a 32nm out-of-order core (McPAT-class
+// numbers), chosen so component ratios for an 8-wide OOO machine are
+// plausible: front-end and scheduling dominate integer-op energy, memory
+// accesses dwarf register traffic, and a fabric ALU op costs the same as a
+// host ALU op but avoids scheduling and bypass entirely.
+type Model struct {
+	FetchPerInst    float64 // icache access + decode share
+	RenamePerInst   float64 // map table + free list
+	WakeupPerIssue  float64 // CAM wakeup + select grant
+	WindowPerCycle  float64 // issue-window static+clock per cycle
+	RegReadWrite    float64 // per physical register file access
+	BypassPerOp     float64 // per result broadcast
+	ROBPerInst      float64 // allocate+commit share
+	FUOp            [isa.NumFUTypes]float64
+	L1Access        float64
+	L2Access        float64
+	DRAMAccess      float64
+	FabricFUOp      [isa.NumFUTypes]float64
+	PassRegMove     float64 // per pass-register hop
+	GlobalBusMove   float64 // per live-in/live-out transfer
+	FIFOAccess      float64 // per FIFO push/pop
+	ConfigLoad      float64 // per reconfiguration
+	FabricPECycle   float64 // static per powered-on PE per cycle
+	CoreStaticCycle float64 // host static per cycle
+}
+
+// DefaultModel returns the calibrated per-event energies.
+func DefaultModel() Model {
+	m := Model{
+		FetchPerInst:    40,
+		RenamePerInst:   18,
+		WakeupPerIssue:  25,
+		WindowPerCycle:  15,
+		RegReadWrite:    6,
+		BypassPerOp:     14,
+		ROBPerInst:      8,
+		L1Access:        20,
+		L2Access:        90,
+		DRAMAccess:      2000,
+		PassRegMove:     2,
+		GlobalBusMove:   6,
+		FIFOAccess:      3,
+		ConfigLoad:      300,
+		FabricPECycle:   0.5,
+		CoreStaticCycle: 35,
+	}
+	m.FUOp[isa.FUIntALU] = 8
+	m.FUOp[isa.FUIntMulDiv] = 35
+	m.FUOp[isa.FUFPALU] = 25
+	m.FUOp[isa.FUFPMulDiv] = 60
+	m.FUOp[isa.FULdSt] = 10
+	// The fabric reuses the same OpenSparc-class functional units, so the
+	// per-op dynamic energy matches the host's.
+	m.FabricFUOp = m.FUOp
+	return m
+}
+
+// Breakdown is energy per component in picojoules.
+type Breakdown [NumComponents]float64
+
+// Total returns the sum across components.
+func (b Breakdown) Total() float64 {
+	t := 0.0
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Inputs gathers the event counts of one run.
+type Inputs struct {
+	CPU        ooo.Stats
+	Hier       *cache.Hierarchy
+	FabricStat fabric.Stats
+	Reconfigs  uint64
+}
+
+// Compute charges every event and returns the per-component breakdown.
+func (m Model) Compute(in Inputs) Breakdown {
+	var b Breakdown
+	s := in.CPU
+
+	b[Fetch] = float64(s.Fetched) * m.FetchPerInst
+	b[Rename] = float64(s.Renamed)*m.RenamePerInst + float64(s.Committed)*m.ROBPerInst
+
+	b[InstSchedule] = float64(s.Issued)*m.WakeupPerIssue + float64(s.Cycles)*m.WindowPerCycle
+
+	// Host execution: reconstruct FU usage from the committed mix. The
+	// pipeline counts issues in total; we charge by class using the
+	// recorded executed loads/stores and treat the rest as ALU-class
+	// (a deliberate simplification: the FU mix is dominated by ALU ops
+	// in the evaluated kernels, and the fabric op counts are exact).
+	hostOps := float64(s.Issued)
+	memOps := float64(s.LoadsExecuted + s.StoresExecuted)
+	if memOps > hostOps {
+		memOps = hostOps
+	}
+	b[Execution] = memOps*m.FUOp[isa.FULdSt] + (hostOps-memOps)*m.FUOp[isa.FUIntALU]
+	b[Execution] += float64(s.Cycles) * m.CoreStaticCycle
+
+	b[Datapath] = float64(s.RegReads+s.RegWrites)*m.RegReadWrite + float64(s.Broadcasts)*m.BypassPerOp
+
+	if in.Hier != nil {
+		l1 := in.Hier.L1I.Stats().Accesses + in.Hier.L1D.Stats().Accesses
+		l2 := in.Hier.L2.Stats().Accesses
+		b[Memory] = float64(l1)*m.L1Access + float64(l2)*m.L2Access + float64(in.Hier.MemAccesses)*m.DRAMAccess
+	}
+
+	f := in.FabricStat
+	for t := isa.FUType(0); t < isa.NumFUTypes; t++ {
+		b[Fabric] += float64(f.FUOps[t]) * m.FabricFUOp[t]
+	}
+	b[Fabric] += float64(f.PassRegMoves) * m.PassRegMove
+	b[Fabric] += float64(f.GlobalBusMoves) * (m.GlobalBusMove + m.FIFOAccess)
+	b[Fabric] += float64(f.ActivePECycles) * m.FabricPECycle
+	b[Fabric] += float64(in.Reconfigs) * m.ConfigLoad
+
+	return b
+}

@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"testing"
+
+	"dynaspam/internal/cache"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/isa"
+	"dynaspam/internal/ooo"
+)
+
+func TestComponentNames(t *testing.T) {
+	want := []string{"Fetch", "Rename", "InstSchedule", "Execution", "Datapath", "Memory", "Fabric"}
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() != want[c] {
+			t.Errorf("Component(%d) = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}
+
+func TestComputeZeroInputs(t *testing.T) {
+	m := DefaultModel()
+	b := m.Compute(Inputs{})
+	if b.Total() != 0 {
+		t.Errorf("zero inputs gave energy %v", b.Total())
+	}
+}
+
+func TestFrontEndScalesWithFetches(t *testing.T) {
+	m := DefaultModel()
+	b1 := m.Compute(Inputs{CPU: ooo.Stats{Fetched: 100}})
+	b2 := m.Compute(Inputs{CPU: ooo.Stats{Fetched: 200}})
+	if b2[Fetch] != 2*b1[Fetch] {
+		t.Errorf("Fetch energy not linear: %v vs %v", b1[Fetch], b2[Fetch])
+	}
+	if b1[Fabric] != 0 || b1[Memory] != 0 {
+		t.Error("unrelated components charged")
+	}
+}
+
+func TestMemoryChargesHierarchy(t *testing.T) {
+	m := DefaultModel()
+	h := cache.DefaultHierarchy()
+	h.AccessData(0, false) // L1 miss, L2 miss, 1 DRAM
+	b := m.Compute(Inputs{Hier: h})
+	want := m.L1Access + m.L2Access + m.DRAMAccess
+	if b[Memory] != want {
+		t.Errorf("Memory = %v, want %v", b[Memory], want)
+	}
+}
+
+func TestFabricCharges(t *testing.T) {
+	m := DefaultModel()
+	var fs fabric.Stats
+	fs.FUOps[isa.FUIntALU] = 10
+	fs.PassRegMoves = 4
+	fs.GlobalBusMoves = 2
+	fs.ActivePECycles = 100
+	b := m.Compute(Inputs{FabricStat: fs, Reconfigs: 1})
+	want := 10*m.FabricFUOp[isa.FUIntALU] + 4*m.PassRegMove +
+		2*(m.GlobalBusMove+m.FIFOAccess) + 100*m.FabricPECycle + m.ConfigLoad
+	if b[Fabric] != want {
+		t.Errorf("Fabric = %v, want %v", b[Fabric], want)
+	}
+}
+
+// The headline relation of Figure 9: a run that retires the same work with
+// fewer fetched/renamed/issued host instructions (offloaded to the fabric)
+// must consume less front-end + scheduling + datapath energy, even after
+// paying for the fabric.
+func TestOffloadSavesEnergyShape(t *testing.T) {
+	m := DefaultModel()
+	base := Inputs{CPU: ooo.Stats{
+		Cycles: 1000, Fetched: 8000, Renamed: 8000, Issued: 8000,
+		Committed: 8000, RegReads: 16000, RegWrites: 8000, Broadcasts: 8000,
+	}}
+	var fs fabric.Stats
+	fs.FUOps[isa.FUIntALU] = 6000
+	fs.PassRegMoves = 3000
+	fs.GlobalBusMoves = 2000
+	fs.ActivePECycles = 700 * 24
+	accel := Inputs{CPU: ooo.Stats{
+		Cycles: 700, Fetched: 2000, Renamed: 2000, Issued: 2000,
+		Committed: 8000, RegReads: 4000, RegWrites: 2000, Broadcasts: 2000,
+	}, FabricStat: fs, Reconfigs: 3}
+
+	bb, ba := m.Compute(base), m.Compute(accel)
+	if ba.Total() >= bb.Total() {
+		t.Errorf("accelerated total %v not below baseline %v", ba.Total(), bb.Total())
+	}
+	for _, c := range []Component{Fetch, Rename, InstSchedule, Datapath} {
+		if ba[c] >= bb[c] {
+			t.Errorf("%v: accelerated %v not below baseline %v", c, ba[c], bb[c])
+		}
+	}
+	if ba[Fabric] <= 0 {
+		t.Error("fabric energy missing in accelerated run")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	var b Breakdown
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	if b.Total() != 28 {
+		t.Errorf("Total = %v, want 28", b.Total())
+	}
+}

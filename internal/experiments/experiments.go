@@ -1,0 +1,290 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5): trace coverage vs. trace length (Figure 7), detected
+// traces and configuration lifetimes (Table 5), speedups of the three
+// DynaSpAM configurations over the host pipeline (Figure 8), the
+// per-component energy breakdown (Figure 9), the area model (Table 6), and
+// the §2.2 naive-vs-resource-aware mapping ablation (Figure 2).
+//
+// Every run validates the simulated machine's final memory against the
+// workload's golden reference before reporting numbers, so a performance
+// result can never come from a functionally wrong execution.
+package experiments
+
+import (
+	"fmt"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/energy"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/ooo"
+	"dynaspam/internal/stats"
+	"dynaspam/internal/workloads"
+)
+
+// RunResult captures one (workload, configuration) simulation.
+type RunResult struct {
+	Workload string
+	Mode     core.Mode
+
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+
+	// Instruction placement (Figure 7).
+	FabricOps uint64 // committed via trace invocations
+	MappedOps uint64 // committed during mapping sessions
+	HostOps   uint64 // everything else
+
+	// Trace machinery (Table 5).
+	MappedTraces    int
+	OffloadedTraces int
+	AvgConfigLife   float64
+	Reconfigs       uint64
+
+	// Energy (Figure 9).
+	Energy energy.Breakdown
+
+	Core   core.Stats
+	CPU    ooo.Stats
+	Fabric fabric.Stats
+}
+
+// Run simulates workload w under params, verifies architectural correctness
+// against the golden reference, and gathers every statistic the figures
+// need.
+func Run(w *workloads.Workload, params core.Params) (*RunResult, error) {
+	m := w.NewMemory()
+	sys := core.New(params, w.Prog, m)
+	if err := sys.Run(); err != nil {
+		return nil, fmt.Errorf("%s/%v: %w", w.Abbrev, params.Mode, err)
+	}
+	if err := sys.Verify(); err != nil {
+		return nil, fmt.Errorf("%s/%v: %w", w.Abbrev, params.Mode, err)
+	}
+	golden := w.GoldenMemory()
+	if eq, diff := golden.Equal(m); !eq {
+		return nil, fmt.Errorf("%s/%v: architectural mismatch: %s", w.Abbrev, params.Mode, diff)
+	}
+
+	cpu := sys.CPU().Stats()
+	var fstat fabric.Stats
+	for i := 0; i < sys.Fabrics().NumFabrics(); i++ {
+		s := sys.Fabrics().Instance(i).Stats()
+		fstat.Invocations += s.Invocations
+		fstat.OpsExecuted += s.OpsExecuted
+		for t := range s.FUOps {
+			fstat.FUOps[t] += s.FUOps[t]
+		}
+		fstat.PassRegMoves += s.PassRegMoves
+		fstat.GlobalBusMoves += s.GlobalBusMoves
+		fstat.Loads += s.Loads
+		fstat.Stores += s.Stores
+		fstat.Violations += s.Violations
+		fstat.EarlyExits += s.EarlyExits
+		fstat.ActivePECycles += s.ActivePECycles
+		fstat.IdlePECycles += s.IdlePECycles
+	}
+
+	model := energy.DefaultModel()
+	breakdown := model.Compute(energy.Inputs{
+		CPU:        cpu,
+		Hier:       sys.CPU().Hierarchy(),
+		FabricStat: fstat,
+		Reconfigs:  sys.Fabrics().Reconfigurations(),
+	})
+
+	cs := sys.Stats()
+	res := &RunResult{
+		Workload:        w.Abbrev,
+		Mode:            params.Mode,
+		Cycles:          cpu.Cycles,
+		Committed:       cpu.Committed,
+		IPC:             cpu.IPC(),
+		FabricOps:       cpu.TraceCommittedOps,
+		MappedOps:       cs.MappedCommits,
+		MappedTraces:    sys.MappedTraces(),
+		OffloadedTraces: sys.OffloadedTraces(),
+		AvgConfigLife:   sys.Fabrics().AvgLifetime(),
+		Reconfigs:       sys.Fabrics().Reconfigurations(),
+		Energy:          breakdown,
+		Core:            cs,
+		CPU:             cpu,
+		Fabric:          fstat,
+	}
+	if res.Committed >= res.FabricOps+res.MappedOps {
+		res.HostOps = res.Committed - res.FabricOps - res.MappedOps
+	}
+	return res, nil
+}
+
+// params returns the default parameter bundle with the given mode.
+func params(mode core.Mode) core.Params {
+	p := core.DefaultParams()
+	p.Mode = mode
+	return p
+}
+
+// Fig7Row is one (workload, trace length) coverage measurement.
+type Fig7Row struct {
+	Workload  string
+	TraceLen  int
+	HostPct   float64
+	MappedPct float64
+	FabricPct float64
+}
+
+// Fig7 sweeps trace lengths and reports the fraction of dynamic
+// instructions executed on the host pipeline, during mapping, and on the
+// fabric (paper Figure 7; lengths 16–40).
+func Fig7(ws []*workloads.Workload, traceLens []int) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, w := range ws {
+		for _, tl := range traceLens {
+			p := params(core.ModeAccel)
+			p.TraceLen = tl
+			r, err := Run(w, p)
+			if err != nil {
+				return nil, err
+			}
+			total := float64(r.Committed)
+			rows = append(rows, Fig7Row{
+				Workload:  w.Abbrev,
+				TraceLen:  tl,
+				HostPct:   float64(r.HostOps) / total,
+				MappedPct: float64(r.MappedOps) / total,
+				FabricPct: float64(r.FabricOps) / total,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table5Row is one workload's trace statistics.
+type Table5Row struct {
+	Workload  string
+	Mapped    int
+	Offloaded int
+	// Lifetime[i] is the average configuration lifetime with
+	// fabricCounts[i] fabrics.
+	Lifetime []float64
+}
+
+// Table5 reports detected/offloaded traces and average configuration
+// lifetime for each fabric count (paper Table 5: 1, 2, 4 fabrics).
+func Table5(ws []*workloads.Workload, fabricCounts []int) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, w := range ws {
+		row := Table5Row{Workload: w.Abbrev}
+		for _, nf := range fabricCounts {
+			p := params(core.ModeAccel)
+			p.NumFabrics = nf
+			r, err := Run(w, p)
+			if err != nil {
+				return nil, err
+			}
+			row.Lifetime = append(row.Lifetime, r.AvgConfigLife)
+			if nf == fabricCounts[0] {
+				row.Mapped = r.MappedTraces
+				row.Offloaded = r.OffloadedTraces
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8Row is one workload's speedups over the baseline.
+type Fig8Row struct {
+	Workload    string
+	MappingOnly float64
+	AccelNoSpec float64
+	AccelSpec   float64
+	BaseCycles  uint64
+	AccelCycles uint64
+}
+
+// Fig8 runs each workload in the four modes and reports speedups over the
+// host OOO pipeline (paper Figure 8).
+func Fig8(ws []*workloads.Workload) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, w := range ws {
+		base, err := Run(w, params(core.ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		mapping, err := Run(w, params(core.ModeMappingOnly))
+		if err != nil {
+			return nil, err
+		}
+		nospec, err := Run(w, params(core.ModeAccelNoSpec))
+		if err != nil {
+			return nil, err
+		}
+		spec, err := Run(w, params(core.ModeAccel))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{
+			Workload:    w.Abbrev,
+			MappingOnly: stats.Ratio(float64(base.Cycles), float64(mapping.Cycles)),
+			AccelNoSpec: stats.Ratio(float64(base.Cycles), float64(nospec.Cycles)),
+			AccelSpec:   stats.Ratio(float64(base.Cycles), float64(spec.Cycles)),
+			BaseCycles:  base.Cycles,
+			AccelCycles: spec.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// GeomeanSpeedups returns the geometric means of the three speedup columns.
+func GeomeanSpeedups(rows []Fig8Row) (mapping, nospec, spec float64) {
+	var a, b, c []float64
+	for _, r := range rows {
+		a = append(a, r.MappingOnly)
+		b = append(b, r.AccelNoSpec)
+		c = append(c, r.AccelSpec)
+	}
+	return stats.Geomean(a), stats.Geomean(b), stats.Geomean(c)
+}
+
+// Fig9Row is one workload's energy comparison.
+type Fig9Row struct {
+	Workload string
+	Baseline energy.Breakdown
+	DynaSpAM energy.Breakdown
+	// Reduction is 1 - accel/baseline total energy.
+	Reduction float64
+}
+
+// Fig9 reports per-component energy for the baseline and full DynaSpAM
+// (paper Figure 9).
+func Fig9(ws []*workloads.Workload) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, w := range ws {
+		base, err := Run(w, params(core.ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		accel, err := Run(w, params(core.ModeAccel))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			Workload:  w.Abbrev,
+			Baseline:  base.Energy,
+			DynaSpAM:  accel.Energy,
+			Reduction: 1 - accel.Energy.Total()/base.Energy.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// GeomeanEnergyReduction returns the geometric-mean relative energy
+// (accel/baseline), expressed as a reduction.
+func GeomeanEnergyReduction(rows []Fig9Row) float64 {
+	var ratios []float64
+	for _, r := range rows {
+		ratios = append(ratios, r.DynaSpAM.Total()/r.Baseline.Total())
+	}
+	return 1 - stats.Geomean(ratios)
+}

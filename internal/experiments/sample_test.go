@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/mapper"
+	"dynaspam/internal/tcache"
+	"dynaspam/internal/workloads"
+)
+
+func TestSampleTracesShapeRules(t *testing.T) {
+	for _, ab := range []string{"PF", "NW", "BT"} {
+		w, err := workloads.ByAbbrev(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := SampleTraces(w, 32)
+		if len(traces) == 0 {
+			t.Fatalf("%s: no traces sampled", ab)
+		}
+		for i, tr := range traces {
+			if len(tr) < 2 || len(tr) > 32 {
+				t.Errorf("%s[%d]: length %d outside [2,32]", ab, i, len(tr))
+			}
+			// Anchor is a branch.
+			if !tr[0].Inst.Op.IsBranch() {
+				t.Errorf("%s[%d]: anchor %v is not a branch", ab, i, tr[0].Inst)
+			}
+			// At most HistoryLen branches.
+			branches := 0
+			for _, ti := range tr {
+				if ti.Inst.Op.IsBranch() {
+					branches++
+				}
+			}
+			if branches > tcache.HistoryLen {
+				t.Errorf("%s[%d]: %d branches exceed %d", ab, i, branches, tcache.HistoryLen)
+			}
+			// Consecutive PCs follow the recorded path.
+			for k := 0; k+1 < len(tr); k++ {
+				in := tr[k].Inst
+				want := tr[k].PC + 1
+				if in.Op.IsBranch() && tr[k].ExpectTaken {
+					want = in.Target
+				}
+				if tr[k+1].PC != want {
+					t.Fatalf("%s[%d]: pc %d -> %d, want %d", ab, i, tr[k].PC, tr[k+1].PC, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleTracesAreDistinct(t *testing.T) {
+	w, err := workloads.ByAbbrev("PF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := SampleTraces(w, 32)
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		key := ""
+		for _, ti := range tr {
+			key += string(rune(ti.PC)) + string(rune(btoi(ti.ExpectTaken)))
+		}
+		if seen[key] {
+			t.Error("duplicate trace shape sampled")
+		}
+		seen[key] = true
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSampledTracesMostlyMappable ties the sampler to the mapper: the
+// resource-aware engine should map nearly all real shapes on the default
+// fabric.
+func TestSampledTracesMostlyMappable(t *testing.T) {
+	g := fabric.DefaultGeometry()
+	total, ok := 0, 0
+	for _, ab := range []string{"PF", "NW", "HS"} {
+		w, err := workloads.ByAbbrev(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range SampleTraces(w, 32) {
+			total++
+			if _, err := mapper.MapStatic(tr, g, tr[0].PC, tr[len(tr)-1].PC+1); err == nil {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no traces")
+	}
+	if float64(ok) < 0.8*float64(total) {
+		t.Errorf("only %d/%d sampled traces mappable", ok, total)
+	}
+}

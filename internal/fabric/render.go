@@ -1,0 +1,81 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaspam/internal/isa"
+)
+
+// Render draws a configuration as a stripe-by-stripe text diagram: each
+// occupied PE shows its instruction, each operand its source (live-in FIFO
+// or producer index with hop count). Tools and tests use this to inspect
+// mappings.
+func (c *Config) Render(g Geometry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace pc %d..exit %d: %d instructions, %d stripes, %d live-ins, %d live-outs, %d datapath slots\n",
+		c.StartPC, c.ExitPC, len(c.Insts), c.StripesUsed, len(c.LiveIns), len(c.LiveOuts), c.DatapathSlots)
+
+	byStripe := make(map[int][]int)
+	for i := range c.Insts {
+		byStripe[c.Insts[i].Stripe] = append(byStripe[c.Insts[i].Stripe], i)
+	}
+	for s := 0; s < c.StripesUsed; s++ {
+		fmt.Fprintf(&b, "stripe %2d:\n", s)
+		for _, i := range byStripe[s] {
+			mi := &c.Insts[i]
+			fmt.Fprintf(&b, "  PE%-2d #%-2d %-22s", mi.PE, i, mi.Inst.String())
+			var srcs []string
+			for k := 0; k < 2; k++ {
+				op := mi.Src[k]
+				switch op.Kind {
+				case SrcLiveIn:
+					srcs = append(srcs, fmt.Sprintf("in[%s]", c.LiveIns[op.Index]))
+				case SrcProducer:
+					tag := ""
+					if op.Reused {
+						tag = " reuse"
+					}
+					srcs = append(srcs, fmt.Sprintf("#%d+%dhop%s", op.Index, op.Hops, tag))
+				}
+			}
+			if len(srcs) > 0 {
+				fmt.Fprintf(&b, " <- %s", strings.Join(srcs, ", "))
+			}
+			if mi.Inst.Op.IsCondBranch() {
+				fmt.Fprintf(&b, "  [expect %v]", mi.ExpectTaken)
+			}
+			b.WriteString("\n")
+		}
+	}
+	var outs []string
+	for i, r := range c.LiveOuts {
+		outs = append(outs, fmt.Sprintf("%s<-#%d", r, c.LiveOutProducer[i]))
+	}
+	fmt.Fprintf(&b, "live-outs: %s\n", strings.Join(outs, ", "))
+	return b.String()
+}
+
+// Utilization returns the fraction of the fabric's PEs the configuration
+// powers on, and the per-FU-pool occupancy of the busiest pool.
+func (c *Config) Utilization(g Geometry) (overall float64, peakPool float64) {
+	total := g.Stripes * g.PEsPerStripe()
+	if total == 0 {
+		return 0, 0
+	}
+	overall = float64(len(c.Insts)) / float64(total)
+	var used [isa.NumFUTypes]int
+	for i := range c.Insts {
+		used[c.Insts[i].Inst.Op.FU()]++
+	}
+	for t := isa.FUType(0); t < isa.NumFUTypes; t++ {
+		cap := g.FUsPerStripe[t] * g.Stripes
+		if cap == 0 {
+			continue
+		}
+		if f := float64(used[t]) / float64(cap); f > peakPool {
+			peakPool = f
+		}
+	}
+	return overall, peakPool
+}

@@ -1,0 +1,68 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"dynaspam/internal/isa"
+)
+
+func TestRenderContainsPlacements(t *testing.T) {
+	g := DefaultGeometry()
+	cfg := chainConfig(g)
+	out := cfg.Render(g)
+	for _, want := range []string{
+		"2 instructions", "2 stripes",
+		"stripe  0", "stripe  1",
+		"add r3, r1, r2", "addi r4, r3, 10",
+		"in[r1]", "#0+0hop",
+		"live-outs: r3<-#0, r4<-#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBranchDirection(t *testing.T) {
+	g := DefaultGeometry()
+	c := &Config{
+		StartPC: 0, ExitPC: 1,
+		LiveIns: []isa.Reg{isa.R(1), isa.R(2)},
+		Insts: []MappedInst{{
+			PC:          0,
+			Inst:        isa.Inst{Op: isa.OpBlt, Dest: isa.RegInvalid, Src1: isa.R(1), Src2: isa.R(2), Target: 9},
+			Stripe:      0,
+			PE:          0,
+			Src:         [2]Operand{{Kind: SrcLiveIn, Index: 0}, {Kind: SrcLiveIn, Index: 1}},
+			ExpectTaken: true,
+		}},
+		StripesUsed: 1,
+	}
+	if !strings.Contains(c.Render(g), "[expect true]") {
+		t.Error("Render missing branch direction annotation")
+	}
+}
+
+func TestRenderMarksReuse(t *testing.T) {
+	g := DefaultGeometry()
+	cfg := chainConfig(g)
+	cfg.Insts[1].Src[0].Reused = true
+	if !strings.Contains(cfg.Render(g), "reuse") {
+		t.Error("Render missing reuse annotation")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	g := DefaultGeometry()
+	cfg := chainConfig(g) // 2 int-ALU instructions
+	overall, peak := cfg.Utilization(g)
+	wantOverall := 2.0 / float64(g.Stripes*g.PEsPerStripe())
+	if overall != wantOverall {
+		t.Errorf("overall = %v, want %v", overall, wantOverall)
+	}
+	wantPeak := 2.0 / float64(g.FUsPerStripe[0]*g.Stripes)
+	if peak != wantPeak {
+		t.Errorf("peak = %v, want %v", peak, wantPeak)
+	}
+}

@@ -1,0 +1,128 @@
+package isa
+
+import "math"
+
+// IntOp evaluates an integer ALU/MUL/DIV operation on two operand values and
+// an immediate, returning the destination value. Division by zero yields 0,
+// matching the simulator's defined (non-trapping) semantics.
+func IntOp(op Op, a, b, imm int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (uint64(b) & 63)
+	case OpShr:
+		return a >> (uint64(b) & 63)
+	case OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpAddi:
+		return a + imm
+	case OpMuli:
+		return a * imm
+	case OpAndi:
+		return a & imm
+	case OpOri:
+		return a | imm
+	case OpXori:
+		return a ^ imm
+	case OpShli:
+		return a << (uint64(imm) & 63)
+	case OpShri:
+		return a >> (uint64(imm) & 63)
+	case OpSlti:
+		if a < imm {
+			return 1
+		}
+		return 0
+	case OpLi:
+		return imm
+	case OpMov:
+		return a
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpNop:
+		return 0
+	}
+	panic("isa: IntOp called with non-integer op " + op.String())
+}
+
+// FPOp evaluates a floating-point operation on two operand values and an FP
+// immediate, returning the destination value.
+func FPOp(op Op, a, b, fimm float64) float64 {
+	switch op {
+	case OpFAdd:
+		return a + b
+	case OpFSub:
+		return a - b
+	case OpFMul:
+		return a * b
+	case OpFDiv:
+		return a / b
+	case OpFMin:
+		return math.Min(a, b)
+	case OpFMax:
+		return math.Max(a, b)
+	case OpFAbs:
+		return math.Abs(a)
+	case OpFNeg:
+		return -a
+	case OpFSqt:
+		return math.Sqrt(a)
+	case OpFExp:
+		return math.Exp(a)
+	case OpFLi:
+		return fimm
+	case OpFMov:
+		return a
+	}
+	panic("isa: FPOp called with non-FP op " + op.String())
+}
+
+// BranchTaken evaluates a conditional branch's condition. Jmp is always
+// taken.
+func BranchTaken(op Op, a, b int64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return a < b
+	case OpBge:
+		return a >= b
+	case OpJmp:
+		return true
+	}
+	panic("isa: BranchTaken called with non-branch op " + op.String())
+}

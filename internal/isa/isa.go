@@ -1,0 +1,325 @@
+// Package isa defines the RISC-like instruction set executed by the host
+// out-of-order pipeline and mapped onto the DynaSpAM spatial fabric.
+//
+// The ISA is deliberately small but complete enough to express the inner
+// loops of the Rodinia-derived workloads: 64 integer registers, 64
+// floating-point registers, integer and floating-point arithmetic, loads and
+// stores, and conditional branches. Instruction metadata (operation class,
+// functional-unit type, latency, register operands) drives both the timing
+// simulation and the fabric mapping.
+package isa
+
+import "fmt"
+
+// Op enumerates every operation in the ISA.
+type Op uint8
+
+// Integer ALU operations.
+const (
+	OpNop  Op = iota
+	OpAdd     // rd = rs1 + rs2
+	OpSub     // rd = rs1 - rs2
+	OpMul     // rd = rs1 * rs2
+	OpDiv     // rd = rs1 / rs2 (0 if rs2 == 0)
+	OpRem     // rd = rs1 % rs2 (0 if rs2 == 0)
+	OpAnd     // rd = rs1 & rs2
+	OpOr      // rd = rs1 | rs2
+	OpXor     // rd = rs1 ^ rs2
+	OpShl     // rd = rs1 << (rs2 & 63)
+	OpShr     // rd = rs1 >> (rs2 & 63) (arithmetic)
+	OpSlt     // rd = rs1 < rs2 ? 1 : 0
+	OpAddi    // rd = rs1 + imm
+	OpMuli    // rd = rs1 * imm
+	OpAndi    // rd = rs1 & imm
+	OpOri     // rd = rs1 | imm
+	OpXori    // rd = rs1 ^ imm
+	OpShli    // rd = rs1 << (imm & 63)
+	OpShri    // rd = rs1 >> (imm & 63)
+	OpSlti    // rd = rs1 < imm ? 1 : 0
+	OpLi      // rd = imm
+	OpMov     // rd = rs1
+	OpMin     // rd = min(rs1, rs2)
+	OpMax     // rd = max(rs1, rs2)
+
+	// Floating point operations (operate on F registers).
+	OpFAdd // fd = fs1 + fs2
+	OpFSub // fd = fs1 - fs2
+	OpFMul // fd = fs1 * fs2
+	OpFDiv // fd = fs1 / fs2
+	OpFMin // fd = min(fs1, fs2)
+	OpFMax // fd = max(fs1, fs2)
+	OpFAbs // fd = |fs1|
+	OpFNeg // fd = -fs1
+	OpFSqt // fd = sqrt(fs1)
+	OpFExp // fd = exp(fs1)
+	OpFLi  // fd = fimm
+	OpFMov // fd = fs1
+	OpFSlt // rd = fs1 < fs2 ? 1 : 0 (int destination)
+	OpItoF // fd = float64(rs1)
+	OpFtoI // rd = int64(fs1)
+
+	// Memory operations. Effective address is rs1 + imm.
+	OpLd  // rd = mem64[rs1+imm]
+	OpSt  // mem64[rs1+imm] = rs2
+	OpFLd // fd = memF64[rs1+imm]
+	OpFSt // memF64[rs1+imm] = fs2
+
+	// Control flow. Branch target is an absolute instruction index
+	// resolved by the program builder.
+	OpBeq  // if rs1 == rs2 goto target
+	OpBne  // if rs1 != rs2 goto target
+	OpBlt  // if rs1 < rs2 goto target
+	OpBge  // if rs1 >= rs2 goto target
+	OpJmp  // goto target
+	OpHalt // stop the program
+
+	numOps
+)
+
+// NumOps is the number of defined operations.
+const NumOps = int(numOps)
+
+// Class groups operations by their pipeline behaviour.
+type Class uint8
+
+const (
+	ClassIntALU Class = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassHalt
+)
+
+// FUType identifies the functional-unit pool an operation issues to, both in
+// the host OOO pipeline and on a fabric stripe (which mirrors the host's
+// execution units per Table 4 of the paper).
+type FUType uint8
+
+const (
+	FUIntALU FUType = iota
+	FUIntMulDiv
+	FUFPALU
+	FUFPMulDiv
+	FULdSt
+	NumFUTypes
+)
+
+// Reg is a register name. Integer registers are 0..NumIntRegs-1; floating
+// point registers are offset by FPBase so that a single rename space covers
+// both files.
+type Reg uint8
+
+// Register file geometry.
+const (
+	NumIntRegs = 64
+	NumFPRegs  = 64
+	FPBase     = 64 // first FP architectural register id
+	NumRegs    = NumIntRegs + NumFPRegs
+	RegZero    = Reg(0) // integer register 0 is hardwired to zero
+	RegInvalid = Reg(255)
+)
+
+// F converts an FP register index (0..63) to its architectural Reg id.
+func F(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: FP register index %d out of range", i))
+	}
+	return Reg(FPBase + i)
+}
+
+// R converts an integer register index (0..63) to its architectural Reg id.
+func R(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: int register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= FPBase && r != RegInvalid }
+
+// Valid reports whether r names a real register.
+func (r Reg) Valid() bool { return r != RegInvalid }
+
+// String implements fmt.Stringer.
+func (r Reg) String() string {
+	switch {
+	case r == RegInvalid:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-FPBase)
+	default:
+		return fmt.Sprintf("r%d", int(r))
+	}
+}
+
+// Inst is a decoded instruction. The zero value is a NOP.
+type Inst struct {
+	Op     Op
+	Dest   Reg   // destination register or RegInvalid
+	Src1   Reg   // first source or RegInvalid
+	Src2   Reg   // second source or RegInvalid
+	Imm    int64 // immediate / address offset
+	FImm   float64
+	Target int // branch target (instruction index)
+}
+
+// opInfo is the static metadata table.
+type opInfo struct {
+	name    string
+	class   Class
+	fu      FUType
+	latency int
+	hasDest bool
+	srcs    int // number of register sources
+}
+
+var opTable = [NumOps]opInfo{
+	OpNop:  {"nop", ClassIntALU, FUIntALU, 1, false, 0},
+	OpAdd:  {"add", ClassIntALU, FUIntALU, 1, true, 2},
+	OpSub:  {"sub", ClassIntALU, FUIntALU, 1, true, 2},
+	OpMul:  {"mul", ClassIntMul, FUIntMulDiv, 3, true, 2},
+	OpDiv:  {"div", ClassIntDiv, FUIntMulDiv, 12, true, 2},
+	OpRem:  {"rem", ClassIntDiv, FUIntMulDiv, 12, true, 2},
+	OpAnd:  {"and", ClassIntALU, FUIntALU, 1, true, 2},
+	OpOr:   {"or", ClassIntALU, FUIntALU, 1, true, 2},
+	OpXor:  {"xor", ClassIntALU, FUIntALU, 1, true, 2},
+	OpShl:  {"shl", ClassIntALU, FUIntALU, 1, true, 2},
+	OpShr:  {"shr", ClassIntALU, FUIntALU, 1, true, 2},
+	OpSlt:  {"slt", ClassIntALU, FUIntALU, 1, true, 2},
+	OpAddi: {"addi", ClassIntALU, FUIntALU, 1, true, 1},
+	OpMuli: {"muli", ClassIntMul, FUIntMulDiv, 3, true, 1},
+	OpAndi: {"andi", ClassIntALU, FUIntALU, 1, true, 1},
+	OpOri:  {"ori", ClassIntALU, FUIntALU, 1, true, 1},
+	OpXori: {"xori", ClassIntALU, FUIntALU, 1, true, 1},
+	OpShli: {"shli", ClassIntALU, FUIntALU, 1, true, 1},
+	OpShri: {"shri", ClassIntALU, FUIntALU, 1, true, 1},
+	OpSlti: {"slti", ClassIntALU, FUIntALU, 1, true, 1},
+	OpLi:   {"li", ClassIntALU, FUIntALU, 1, true, 0},
+	OpMov:  {"mov", ClassIntALU, FUIntALU, 1, true, 1},
+	OpMin:  {"min", ClassIntALU, FUIntALU, 1, true, 2},
+	OpMax:  {"max", ClassIntALU, FUIntALU, 1, true, 2},
+
+	OpFAdd: {"fadd", ClassFPALU, FUFPALU, 3, true, 2},
+	OpFSub: {"fsub", ClassFPALU, FUFPALU, 3, true, 2},
+	OpFMul: {"fmul", ClassFPMul, FUFPMulDiv, 4, true, 2},
+	OpFDiv: {"fdiv", ClassFPDiv, FUFPMulDiv, 12, true, 2},
+	OpFMin: {"fmin", ClassFPALU, FUFPALU, 3, true, 2},
+	OpFMax: {"fmax", ClassFPALU, FUFPALU, 3, true, 2},
+	OpFAbs: {"fabs", ClassFPALU, FUFPALU, 2, true, 1},
+	OpFNeg: {"fneg", ClassFPALU, FUFPALU, 2, true, 1},
+	OpFSqt: {"fsqt", ClassFPDiv, FUFPMulDiv, 12, true, 1},
+	OpFExp: {"fexp", ClassFPDiv, FUFPMulDiv, 12, true, 1},
+	OpFLi:  {"fli", ClassFPALU, FUFPALU, 1, true, 0},
+	OpFMov: {"fmov", ClassFPALU, FUFPALU, 1, true, 1},
+	OpFSlt: {"fslt", ClassFPALU, FUFPALU, 2, true, 2},
+	OpItoF: {"itof", ClassFPALU, FUFPALU, 2, true, 1},
+	OpFtoI: {"ftoi", ClassFPALU, FUFPALU, 2, true, 1},
+
+	OpLd:  {"ld", ClassLoad, FULdSt, 1, true, 1},
+	OpSt:  {"st", ClassStore, FULdSt, 1, false, 2},
+	OpFLd: {"fld", ClassLoad, FULdSt, 1, true, 1},
+	OpFSt: {"fst", ClassStore, FULdSt, 1, false, 2},
+
+	OpBeq:  {"beq", ClassBranch, FUIntALU, 1, false, 2},
+	OpBne:  {"bne", ClassBranch, FUIntALU, 1, false, 2},
+	OpBlt:  {"blt", ClassBranch, FUIntALU, 1, false, 2},
+	OpBge:  {"bge", ClassBranch, FUIntALU, 1, false, 2},
+	OpJmp:  {"jmp", ClassBranch, FUIntALU, 1, false, 0},
+	OpHalt: {"halt", ClassHalt, FUIntALU, 1, false, 0},
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class returns the pipeline behaviour class of o.
+func (o Op) Class() Class { return opTable[o].class }
+
+// FU returns the functional-unit pool o issues to.
+func (o Op) FU() FUType { return opTable[o].fu }
+
+// Latency returns the execution latency in cycles, excluding memory access
+// time for loads and stores (which is added by the cache model).
+func (o Op) Latency() int { return opTable[o].latency }
+
+// HasDest reports whether o writes a destination register.
+func (o Op) HasDest() bool { return opTable[o].hasDest }
+
+// NumSrcs returns the number of register source operands of o.
+func (o Op) NumSrcs() int { return opTable[o].srcs }
+
+// IsBranch reports whether o is a control-flow operation.
+func (o Op) IsBranch() bool { return opTable[o].class == ClassBranch }
+
+// IsCondBranch reports whether o is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether o accesses memory.
+func (o Op) IsMem() bool {
+	c := opTable[o].class
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether o is a load.
+func (o Op) IsLoad() bool { return opTable[o].class == ClassLoad }
+
+// IsStore reports whether o is a store.
+func (o Op) IsStore() bool { return opTable[o].class == ClassStore }
+
+// Sources returns the valid source registers of i in a fixed-size array plus
+// the count, avoiding allocation in the simulator's hot path.
+func (i *Inst) Sources() ([2]Reg, int) {
+	var out [2]Reg
+	n := 0
+	if i.Src1.Valid() && i.Op.NumSrcs() >= 1 {
+		out[n] = i.Src1
+		n++
+	}
+	if i.Src2.Valid() && i.Op.NumSrcs() >= 2 {
+		out[n] = i.Src2
+		n++
+	}
+	return out, n
+}
+
+// String renders i in assembly-like form.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNop, OpHalt:
+		return i.Op.String()
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", i.Dest, i.Imm)
+	case OpFLi:
+		return fmt.Sprintf("fli %s, %g", i.Dest, i.FImm)
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Dest, i.Src1, i.Imm)
+	case OpLd, OpFLd:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Dest, i.Imm, i.Src1)
+	case OpSt, OpFSt:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Src2, i.Imm, i.Src1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, @%d", i.Op, i.Src1, i.Src2, i.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	case OpMov, OpFMov, OpFAbs, OpFNeg, OpFSqt, OpFExp, OpItoF, OpFtoI:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Dest, i.Src1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Dest, i.Src1, i.Src2)
+	}
+}

@@ -1,0 +1,312 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNaming(t *testing.T) {
+	if got := R(5).String(); got != "r5" {
+		t.Errorf("R(5) = %q, want r5", got)
+	}
+	if got := F(7).String(); got != "f7" {
+		t.Errorf("F(7) = %q, want f7", got)
+	}
+	if got := RegInvalid.String(); got != "-" {
+		t.Errorf("RegInvalid = %q, want -", got)
+	}
+	if R(3).IsFP() {
+		t.Error("R(3).IsFP() = true, want false")
+	}
+	if !F(3).IsFP() {
+		t.Error("F(3).IsFP() = false, want true")
+	}
+	if RegInvalid.Valid() {
+		t.Error("RegInvalid.Valid() = true")
+	}
+}
+
+func TestRegRangePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"R(-1)", func() { R(-1) }},
+		{"R(64)", func() { R(64) }},
+		{"F(-1)", func() { F(-1) }},
+		{"F(64)", func() { F(64) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestOpMetadataComplete(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("op %d has no metadata entry", op)
+		}
+		if opTable[op].latency < 1 {
+			t.Errorf("op %s has latency %d < 1", op, opTable[op].latency)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	tests := []struct {
+		op     Op
+		branch bool
+		cond   bool
+		mem    bool
+		load   bool
+		store  bool
+		dest   bool
+		srcs   int
+	}{
+		{OpAdd, false, false, false, false, false, true, 2},
+		{OpAddi, false, false, false, false, false, true, 1},
+		{OpLi, false, false, false, false, false, true, 0},
+		{OpLd, false, false, true, true, false, true, 1},
+		{OpSt, false, false, true, false, true, false, 2},
+		{OpFLd, false, false, true, true, false, true, 1},
+		{OpFSt, false, false, true, false, true, false, 2},
+		{OpBeq, true, true, false, false, false, false, 2},
+		{OpJmp, true, false, false, false, false, false, 0},
+		{OpHalt, false, false, false, false, false, false, 0},
+		{OpFMul, false, false, false, false, false, true, 2},
+	}
+	for _, tc := range tests {
+		if got := tc.op.IsBranch(); got != tc.branch {
+			t.Errorf("%s.IsBranch() = %v, want %v", tc.op, got, tc.branch)
+		}
+		if got := tc.op.IsCondBranch(); got != tc.cond {
+			t.Errorf("%s.IsCondBranch() = %v, want %v", tc.op, got, tc.cond)
+		}
+		if got := tc.op.IsMem(); got != tc.mem {
+			t.Errorf("%s.IsMem() = %v, want %v", tc.op, got, tc.mem)
+		}
+		if got := tc.op.IsLoad(); got != tc.load {
+			t.Errorf("%s.IsLoad() = %v, want %v", tc.op, got, tc.load)
+		}
+		if got := tc.op.IsStore(); got != tc.store {
+			t.Errorf("%s.IsStore() = %v, want %v", tc.op, got, tc.store)
+		}
+		if got := tc.op.HasDest(); got != tc.dest {
+			t.Errorf("%s.HasDest() = %v, want %v", tc.op, got, tc.dest)
+		}
+		if got := tc.op.NumSrcs(); got != tc.srcs {
+			t.Errorf("%s.NumSrcs() = %d, want %d", tc.op, got, tc.srcs)
+		}
+	}
+}
+
+func TestIntOpSemantics(t *testing.T) {
+	tests := []struct {
+		op      Op
+		a, b, i int64
+		want    int64
+	}{
+		{OpAdd, 3, 4, 0, 7},
+		{OpSub, 3, 4, 0, -1},
+		{OpMul, 3, 4, 0, 12},
+		{OpDiv, 12, 4, 0, 3},
+		{OpDiv, 12, 0, 0, 0},
+		{OpRem, 13, 4, 0, 1},
+		{OpRem, 13, 0, 0, 0},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110},
+		{OpShl, 1, 4, 0, 16},
+		{OpShr, -16, 2, 0, -4},
+		{OpSlt, 1, 2, 0, 1},
+		{OpSlt, 2, 1, 0, 0},
+		{OpAddi, 3, 0, 4, 7},
+		{OpMuli, 3, 0, 4, 12},
+		{OpAndi, 0b1100, 0, 0b1010, 0b1000},
+		{OpOri, 0b1100, 0, 0b1010, 0b1110},
+		{OpXori, 0b1100, 0, 0b1010, 0b0110},
+		{OpShli, 1, 0, 4, 16},
+		{OpShri, -16, 0, 2, -4},
+		{OpSlti, 1, 0, 2, 1},
+		{OpLi, 99, 99, 42, 42},
+		{OpMov, 5, 0, 0, 5},
+		{OpMin, 3, 4, 0, 3},
+		{OpMax, 3, 4, 0, 4},
+		{OpNop, 1, 2, 3, 0},
+	}
+	for _, tc := range tests {
+		if got := IntOp(tc.op, tc.a, tc.b, tc.i); got != tc.want {
+			t.Errorf("IntOp(%s, %d, %d, %d) = %d, want %d", tc.op, tc.a, tc.b, tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestFPOpSemantics(t *testing.T) {
+	tests := []struct {
+		op      Op
+		a, b, i float64
+		want    float64
+	}{
+		{OpFAdd, 1.5, 2.5, 0, 4.0},
+		{OpFSub, 1.5, 2.5, 0, -1.0},
+		{OpFMul, 1.5, 2.0, 0, 3.0},
+		{OpFDiv, 3.0, 2.0, 0, 1.5},
+		{OpFMin, 1.5, 2.5, 0, 1.5},
+		{OpFMax, 1.5, 2.5, 0, 2.5},
+		{OpFAbs, -1.5, 0, 0, 1.5},
+		{OpFNeg, 1.5, 0, 0, -1.5},
+		{OpFSqt, 9.0, 0, 0, 3.0},
+		{OpFLi, 0, 0, 2.25, 2.25},
+		{OpFMov, 7.5, 0, 0, 7.5},
+	}
+	for _, tc := range tests {
+		if got := FPOp(tc.op, tc.a, tc.b, tc.i); got != tc.want {
+			t.Errorf("FPOp(%s, %g, %g, %g) = %g, want %g", tc.op, tc.a, tc.b, tc.i, got, tc.want)
+		}
+	}
+	if got := FPOp(OpFExp, 1, 0, 0); math.Abs(got-math.E) > 1e-12 {
+		t.Errorf("FPOp(fexp, 1) = %g, want e", got)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpBeq, 1, 1, true},
+		{OpBeq, 1, 2, false},
+		{OpBne, 1, 2, true},
+		{OpBne, 2, 2, false},
+		{OpBlt, 1, 2, true},
+		{OpBlt, 2, 1, false},
+		{OpBge, 2, 1, true},
+		{OpBge, 2, 2, true},
+		{OpBge, 1, 2, false},
+		{OpJmp, 0, 0, true},
+	}
+	for _, tc := range tests {
+		if got := BranchTaken(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("BranchTaken(%s, %d, %d) = %v, want %v", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestIntOpPanicsOnFPOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntOp(OpFAdd) did not panic")
+		}
+	}()
+	IntOp(OpFAdd, 0, 0, 0)
+}
+
+func TestFPOpPanicsOnIntOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FPOp(OpAdd) did not panic")
+		}
+	}()
+	FPOp(OpAdd, 0, 0, 0)
+}
+
+func TestBranchTakenPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTaken(OpAdd) did not panic")
+		}
+	}()
+	BranchTaken(OpAdd, 0, 0)
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpAdd, Dest: R(1), Src1: R(2), Src2: R(3)}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Dest: R(1), Src1: R(2), Imm: 8}, "addi r1, r2, 8"},
+		{Inst{Op: OpLi, Dest: R(1), Imm: 42}, "li r1, 42"},
+		{Inst{Op: OpFLi, Dest: F(1), FImm: 1.5}, "fli f1, 1.5"},
+		{Inst{Op: OpLd, Dest: R(1), Src1: R(2), Imm: 16}, "ld r1, 16(r2)"},
+		{Inst{Op: OpSt, Src1: R(2), Src2: R(3), Imm: 16}, "st r3, 16(r2)"},
+		{Inst{Op: OpBeq, Src1: R(1), Src2: R(2), Target: 7}, "beq r1, r2, @7"},
+		{Inst{Op: OpJmp, Target: 3}, "jmp @3"},
+		{Inst{Op: OpFMov, Dest: F(1), Src1: F(2)}, "fmov f1, f2"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Inst.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	i := Inst{Op: OpAdd, Dest: R(1), Src1: R(2), Src2: R(3)}
+	srcs, n := i.Sources()
+	if n != 2 || srcs[0] != R(2) || srcs[1] != R(3) {
+		t.Errorf("Sources() = %v,%d", srcs[:n], n)
+	}
+	i = Inst{Op: OpAddi, Dest: R(1), Src1: R(2), Src2: RegInvalid}
+	srcs, n = i.Sources()
+	if n != 1 || srcs[0] != R(2) {
+		t.Errorf("Sources() = %v,%d, want [r2],1", srcs[:n], n)
+	}
+	i = Inst{Op: OpLi, Dest: R(1), Src1: RegInvalid, Src2: RegInvalid}
+	if _, n = i.Sources(); n != 0 {
+		t.Errorf("Sources() count = %d, want 0", n)
+	}
+}
+
+// Property: min/max are commutative and idempotent, and slt is antisymmetric.
+func TestIntOpProperties(t *testing.T) {
+	commut := func(a, b int64) bool {
+		return IntOp(OpMin, a, b, 0) == IntOp(OpMin, b, a, 0) &&
+			IntOp(OpMax, a, b, 0) == IntOp(OpMax, b, a, 0) &&
+			IntOp(OpAdd, a, b, 0) == IntOp(OpAdd, b, a, 0) &&
+			IntOp(OpAnd, a, b, 0) == IntOp(OpAnd, b, a, 0) &&
+			IntOp(OpOr, a, b, 0) == IntOp(OpOr, b, a, 0) &&
+			IntOp(OpXor, a, b, 0) == IntOp(OpXor, b, a, 0)
+	}
+	if err := quick.Check(commut, nil); err != nil {
+		t.Error(err)
+	}
+	minMax := func(a, b int64) bool {
+		lo := IntOp(OpMin, a, b, 0)
+		hi := IntOp(OpMax, a, b, 0)
+		return lo <= hi && (lo == a || lo == b) && (hi == a || hi == b)
+	}
+	if err := quick.Check(minMax, nil); err != nil {
+		t.Error(err)
+	}
+	slt := func(a, b int64) bool {
+		if a == b {
+			return IntOp(OpSlt, a, b, 0) == 0
+		}
+		return IntOp(OpSlt, a, b, 0)+IntOp(OpSlt, b, a, 0) == 1
+	}
+	if err := quick.Check(slt, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: branch conditions partition: beq(a,b) xor bne(a,b), blt xor bge.
+func TestBranchProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		return BranchTaken(OpBeq, a, b) != BranchTaken(OpBne, a, b) &&
+			BranchTaken(OpBlt, a, b) != BranchTaken(OpBge, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package mapper implements DynaSpAM's dynamic resource-aware mapping (§4):
+// the coupling of the host pipeline's issue stage to placement of trace
+// instructions on the spatial fabric's scheduling frontier.
+//
+// Three mapping engines are provided:
+//
+//   - Session: the paper's mechanism. It rides the host pipeline's hooks —
+//     the issue unit's select logic is overridden with a priority score
+//     (Table 2, Algorithm 2) per candidate, and each issued instruction is
+//     simultaneously placed on the PE paired with its functional unit
+//     (Algorithm 1), updating the ProdTable / ReuseSet / OverallUsage
+//     status tables (Algorithm 3).
+//
+//   - MapStatic: an offline replay of the same algorithm in dataflow order,
+//     used by tests and the ablation benchmarks.
+//
+//   - MapNaive: the program-order baseline of §2.2 (CCA/DIF style), which
+//     places one instruction at a time greedily and demonstrates the
+//     feasibility and routing deficiencies of small-scope mapping.
+package mapper
+
+import (
+	"fmt"
+
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/isa"
+)
+
+// TraceInst is one expected trace instruction, captured when the trace is
+// detected on the predicted path.
+type TraceInst struct {
+	PC   int
+	Inst isa.Inst
+	// ExpectTaken is the recorded direction for branches.
+	ExpectTaken bool
+}
+
+// LiveOutsOf computes the architectural registers a trace defines and the
+// trace index of each register's last definition.
+func LiveOutsOf(trace []TraceInst) (regs []isa.Reg, producer []int) {
+	last := make(map[isa.Reg]int)
+	var order []isa.Reg
+	for i, ti := range trace {
+		if ti.Inst.Op.HasDest() && ti.Inst.Dest != isa.RegZero && ti.Inst.Dest.Valid() {
+			if _, seen := last[ti.Inst.Dest]; !seen {
+				order = append(order, ti.Inst.Dest)
+			}
+			last[ti.Inst.Dest] = i
+		}
+	}
+	for _, r := range order {
+		regs = append(regs, r)
+		producer = append(producer, last[r])
+	}
+	return regs, producer
+}
+
+// peBase returns the index of the first PE of pool fu within a stripe laid
+// out pool-by-pool.
+func peBase(g fabric.Geometry, fu isa.FUType) int {
+	idx := 0
+	for t := isa.FUType(0); t < fu; t++ {
+		idx += g.FUsPerStripe[t]
+	}
+	return idx
+}
+
+// tables is the mapping state shared by all engines: the paper's ProdTable,
+// ReuseSet (as per-value route reach), and OverallUsage (as per-stripe
+// datapath slot counters).
+type tables struct {
+	geom   fabric.Geometry
+	policy Policy
+
+	// prod maps a value id (physical register for the online session,
+	// trace index for static engines) to its producing trace index.
+	prod map[int]int
+	// stripeOf maps trace index -> placed stripe.
+	stripeOf []int
+	// reach maps a value id to the highest stripe its route currently
+	// feeds; consumers at stripes (producer, reach] read it for free.
+	reach map[int]int
+	// slotsUsed counts allocated pass-register slots per stripe.
+	slotsUsed []int
+	// peUsed marks allocated PEs.
+	peUsed [][]bool
+
+	datapathSlots int
+}
+
+func newTables(g fabric.Geometry, traceLen int) *tables {
+	t := &tables{
+		geom:      g,
+		policy:    Table2Policy,
+		prod:      make(map[int]int),
+		stripeOf:  make([]int, traceLen),
+		reach:     make(map[int]int),
+		slotsUsed: make([]int, g.Stripes),
+		peUsed:    make([][]bool, g.Stripes),
+	}
+	for i := range t.stripeOf {
+		t.stripeOf[i] = -1
+	}
+	for s := range t.peUsed {
+		t.peUsed[s] = make([]bool, g.PEsPerStripe())
+	}
+	return t
+}
+
+// operandView describes one source operand of a candidate: either a live-in
+// or a value id with a known producer.
+type operandView struct {
+	valid   bool
+	liveIn  bool
+	arch    isa.Reg // live-in architectural register
+	valueID int     // producer value id when !liveIn
+}
+
+// PlacementView summarizes the resource situation of one candidate
+// (instruction, PE) pair for a Policy: how many distinct live-in ports it
+// needs, how many non-live-in operands it has, and how many of those can be
+// satisfied from the ReuseSet versus requiring a fresh route.
+type PlacementView struct {
+	NeedInputs int // distinct live-in operands
+	NonLive    int // operands with in-fabric producers
+	CanReuse   int // of NonLive, satisfiable from pass registers for free
+	CanRoute   int // of NonLive, needing a new datapath allocation
+	Ports      int // live-in ports this PE provides
+}
+
+// Policy ranks a feasible placement (§4.2: "the scheduling algorithm is not
+// tied to any particular priority scoring mechanism"). Feasibility is
+// decided before the policy runs; the policy only orders feasible
+// candidates — larger is better.
+type Policy func(v PlacementView) int
+
+// Table2Policy is the paper's priority scoring (Table 2): two-live-in
+// instructions outrank everything (they fit only the first stripe), full
+// ReuseSet coverage outranks partial, partial outranks none.
+func Table2Policy(v PlacementView) int {
+	switch {
+	case v.NeedInputs == 2:
+		return 3
+	case v.NonLive > 0 && v.CanReuse == v.NonLive:
+		return 2
+	case v.CanReuse > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// FlatPolicy ignores routing economics entirely (every feasible placement
+// scores alike except the mandatory two-live-in rule). It isolates how much
+// of the resource-aware mapper's advantage comes from the Table 2 scoring
+// itself rather than from the large scheduling scope.
+func FlatPolicy(v PlacementView) int {
+	if v.NeedInputs == 2 {
+		return 1 // still required for feasibility ordering
+	}
+	return 0
+}
+
+// scoreResult is the outcome of PriorityGen for one (instruction, PE) pair.
+type scoreResult struct {
+	score  int // policy priority; -1 means infeasible here
+	reuse1 bool
+	reuse2 bool
+}
+
+// priorityGen is Algorithm 2: score placing an instruction with the given
+// operands onto a PE in stripe s.
+func (t *tables) priorityGen(ops [2]operandView, s int) scoreResult {
+	needInputs := 0
+	seenLiveIn := make(map[isa.Reg]bool, 2)
+	canReuse, canRoute := 0, 0
+	nonLive := 0
+	reuse := [2]bool{}
+	for i := 0; i < 2; i++ {
+		op := ops[i]
+		if !op.valid {
+			continue
+		}
+		if op.liveIn {
+			if !seenLiveIn[op.arch] {
+				seenLiveIn[op.arch] = true
+				needInputs++
+			}
+			continue
+		}
+		nonLive++
+		prodIdx, ok := t.prod[op.valueID]
+		if !ok {
+			// Producer unknown: treat as infeasible (the engines
+			// guarantee producers are placed first, so this is a
+			// candidate whose producer is not yet mapped).
+			return scoreResult{score: -1}
+		}
+		ps := t.stripeOf[prodIdx]
+		if ps < 0 || ps >= s {
+			// Acyclic fabric: operands come from earlier stripes only.
+			return scoreResult{score: -1}
+		}
+		if s <= t.reach[op.valueID] {
+			canReuse++
+			reuse[i] = true
+		} else if t.canExtend(op.valueID, s) {
+			canRoute++
+		} else {
+			return scoreResult{score: -1}
+		}
+	}
+	if needInputs > t.geom.InputPorts(s) {
+		return scoreResult{score: -1}
+	}
+	score := t.policy(PlacementView{
+		NeedInputs: needInputs,
+		NonLive:    nonLive,
+		CanReuse:   canReuse,
+		CanRoute:   canRoute,
+		Ports:      t.geom.InputPorts(s),
+	})
+	return scoreResult{score: score, reuse1: reuse[0], reuse2: reuse[1]}
+}
+
+// canExtend reports whether the route of valueID can be extended to feed
+// stripe s (OverallUsage lookup).
+func (t *tables) canExtend(valueID, s int) bool {
+	from := t.reach[valueID]
+	for k := from; k < s; k++ {
+		if t.slotsUsed[k] >= t.geom.RouteCapacity() {
+			return false
+		}
+	}
+	return true
+}
+
+// place is Algorithm 3: commit the placement of trace index idx (producing
+// value destID, or -1) with the given operands onto (stripe, pe), updating
+// all status tables and returning the mapped operand descriptors.
+func (t *tables) place(idx, destID int, ops [2]operandView, stripe, pe int) [2]fabric.Operand {
+	t.peUsed[stripe][pe] = true
+	t.stripeOf[idx] = stripe
+	if destID >= 0 {
+		t.prod[destID] = idx
+		// A freshly produced value is directly visible to the next
+		// stripe without consuming pass registers.
+		t.reach[destID] = stripe + 1
+	}
+	var out [2]fabric.Operand
+	for i := 0; i < 2; i++ {
+		op := ops[i]
+		if !op.valid {
+			out[i] = fabric.Operand{Kind: fabric.SrcNone}
+			continue
+		}
+		if op.liveIn {
+			out[i] = fabric.Operand{Kind: fabric.SrcLiveIn, Index: -1} // index fixed by caller
+			continue
+		}
+		prodIdx := t.prod[op.valueID]
+		ps := t.stripeOf[prodIdx]
+		reused := stripe <= t.reach[op.valueID]
+		if !reused {
+			for k := t.reach[op.valueID]; k < stripe; k++ {
+				t.slotsUsed[k]++
+				t.datapathSlots++
+			}
+			t.reach[op.valueID] = stripe
+		}
+		out[i] = fabric.Operand{
+			Kind:   fabric.SrcProducer,
+			Index:  prodIdx,
+			Hops:   stripe - ps - 1,
+			Reused: reused,
+		}
+	}
+	return out
+}
+
+// freePE returns the PE index of pool fu, unit u in stripe s if it exists
+// and is unallocated, else -1.
+func (t *tables) freePE(fu isa.FUType, unit, s int) int {
+	if unit >= t.geom.FUsPerStripe[fu] {
+		return -1
+	}
+	pe := peBase(t.geom, fu) + unit
+	if t.peUsed[s][pe] {
+		return -1
+	}
+	return pe
+}
+
+// anyFreePE returns any unallocated PE of pool fu in stripe s, or -1.
+func (t *tables) anyFreePE(fu isa.FUType, s int) int {
+	base := peBase(t.geom, fu)
+	for u := 0; u < t.geom.FUsPerStripe[fu]; u++ {
+		if !t.peUsed[s][base+u] {
+			return base + u
+		}
+	}
+	return -1
+}
+
+// FailReason explains why a mapping could not be produced.
+type FailReason int
+
+const (
+	// FailNone: mapping succeeded.
+	FailNone FailReason = iota
+	// FailStripes: the trace needs more stripes than the fabric has.
+	FailStripes
+	// FailPorts: an instruction needs more live-in ports than any
+	// remaining PE provides.
+	FailPorts
+	// FailRouting: a needed datapath could not be allocated.
+	FailRouting
+	// FailFIFOs: the trace's live-ins or live-outs exceed the FIFO count.
+	FailFIFOs
+	// FailAborted: the mapping session was aborted by a pipeline squash
+	// or a fetch divergence.
+	FailAborted
+)
+
+// String implements fmt.Stringer.
+func (r FailReason) String() string {
+	switch r {
+	case FailNone:
+		return "none"
+	case FailStripes:
+		return "stripes-exhausted"
+	case FailPorts:
+		return "input-ports"
+	case FailRouting:
+		return "routing"
+	case FailFIFOs:
+		return "fifos"
+	case FailAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// MapError is returned when a trace cannot be mapped.
+type MapError struct {
+	Reason FailReason
+	Index  int // trace index that failed, -1 if not applicable
+}
+
+// Error implements error.
+func (e *MapError) Error() string {
+	return fmt.Sprintf("mapper: mapping failed (%s) at trace index %d", e.Reason, e.Index)
+}

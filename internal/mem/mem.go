@@ -1,0 +1,141 @@
+// Package mem provides the flat byte-addressable backing store shared by the
+// host pipeline, the cache hierarchy, and the spatial fabric's load/store
+// units.
+//
+// All architectural accesses are 8-byte words; addresses are byte addresses
+// and need not be aligned (the workloads use 8-byte strides throughout, but
+// unaligned access is defined for robustness).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Memory is a sparse flat memory built from fixed-size pages, so large
+// address spaces cost only what the workload touches.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+const (
+	pageShift = 16
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page struct {
+	data [pageSize]byte
+}
+
+// New returns an empty memory. All bytes read as zero.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	idx := addr >> pageShift
+	p := m.pages[idx]
+	if p == nil && create {
+		p = &page{}
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p.data[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.pageFor(addr, true).data[addr&pageMask] = b
+}
+
+// Read64 returns the little-endian 64-bit word at addr.
+func (m *Memory) Read64(addr uint64) uint64 {
+	// Fast path: within one page.
+	off := addr & pageMask
+	if off+8 <= pageSize {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p.data[off : off+8])
+	}
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = m.LoadByte(addr + uint64(i))
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write64 stores v as a little-endian 64-bit word at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & pageMask
+	if off+8 <= pageSize {
+		p := m.pageFor(addr, true)
+		binary.LittleEndian.PutUint64(p.data[off:off+8], v)
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for i := range buf {
+		m.StoreByte(addr+uint64(i), buf[i])
+	}
+}
+
+// ReadInt returns the signed 64-bit word at addr.
+func (m *Memory) ReadInt(addr uint64) int64 { return int64(m.Read64(addr)) }
+
+// WriteInt stores the signed 64-bit word v at addr.
+func (m *Memory) WriteInt(addr uint64, v int64) { m.Write64(addr, uint64(v)) }
+
+// ReadFloat returns the float64 at addr.
+func (m *Memory) ReadFloat(addr uint64) float64 { return math.Float64frombits(m.Read64(addr)) }
+
+// WriteFloat stores the float64 v at addr.
+func (m *Memory) WriteFloat(addr uint64, v float64) { m.Write64(addr, math.Float64bits(v)) }
+
+// Footprint returns the number of bytes of backing store allocated.
+func (m *Memory) Footprint() int { return len(m.pages) * pageSize }
+
+// Clone returns a deep copy of the memory, used by tests to compare
+// simulator output against golden execution.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for idx, p := range m.pages {
+		np := &page{}
+		np.data = p.data
+		c.pages[idx] = np
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents, and if not,
+// describes the first differing 8-byte word found.
+func (m *Memory) Equal(o *Memory) (bool, string) {
+	seen := make(map[uint64]bool)
+	for idx := range m.pages {
+		seen[idx] = true
+	}
+	for idx := range o.pages {
+		seen[idx] = true
+	}
+	for idx := range seen {
+		base := idx << pageShift
+		for off := uint64(0); off < pageSize; off += 8 {
+			a, b := m.Read64(base+off), o.Read64(base+off)
+			if a != b {
+				return false, fmt.Sprintf("mem[%#x]: %#x != %#x", base+off, a, b)
+			}
+		}
+	}
+	return true, ""
+}

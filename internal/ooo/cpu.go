@@ -1,0 +1,1383 @@
+package ooo
+
+import (
+	"fmt"
+	"math"
+
+	"dynaspam/internal/branch"
+	"dynaspam/internal/cache"
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/memdep"
+	"dynaspam/internal/program"
+)
+
+// physReg is one physical register.
+type physReg struct {
+	value uint64
+	ready bool
+	// readyAt is the cycle the value became available (feeds the fabric's
+	// per-live-in arrival model).
+	readyAt uint64
+}
+
+// ROBEntry is one in-flight instruction (or trace invocation).
+type ROBEntry struct {
+	Seq  uint64
+	PC   int
+	Inst isa.Inst
+
+	// Renamed registers.
+	PhysSrc1, PhysSrc2 int
+	PhysDest           int // -1 when no destination
+	OldPhys            int // previous mapping of the destination arch reg
+
+	Dispatched bool
+	Issued     bool
+	Executed   bool
+
+	// Branch state.
+	PredTaken  bool
+	PredTarget int
+	HistAtPred uint64
+	Taken      bool
+	Target     int
+
+	// Memory state.
+	Addr      uint64
+	AddrValid bool
+	StoreVal  uint64
+	LQIndex   int
+	SQIndex   int
+
+	// Trace invocation state (fat atomic instruction).
+	Trace        *TraceInject
+	TraceRes     *TraceResult
+	DispatchedAt uint64
+	// traceLiveOutPhys holds the physical registers allocated for the
+	// invocation's live-outs; traceOldPhys the mappings they replaced.
+	traceLiveOutPhys []int
+	traceOldPhys     []int
+	traceLiveInPhys  []int
+}
+
+// IsTrace reports whether the entry is a fabric trace invocation.
+func (e *ROBEntry) IsTrace() bool { return e.Trace != nil }
+
+// RSEntry is a reservation-station view of a waiting instruction, exposed to
+// the SelectOverride hook so the DynaSpAM mapper can score candidates by
+// their renamed producers.
+type RSEntry struct {
+	ROB *ROBEntry
+}
+
+// Seq returns the entry's sequence number.
+func (r *RSEntry) Seq() uint64 { return r.ROB.Seq }
+
+// PC returns the entry's program counter.
+func (r *RSEntry) PC() int { return r.ROB.PC }
+
+// Inst returns the instruction.
+func (r *RSEntry) Inst() isa.Inst { return r.ROB.Inst }
+
+// PhysSrcs returns the renamed source registers (-1 when absent).
+func (r *RSEntry) PhysSrcs() (int, int) { return r.ROB.PhysSrc1, r.ROB.PhysSrc2 }
+
+// PhysDest returns the renamed destination register (-1 when absent).
+func (r *RSEntry) PhysDest() int { return r.ROB.PhysDest }
+
+// completion is a scheduled writeback event.
+type completion struct {
+	entry *ROBEntry
+	// kind selects the writeback action.
+	kind compKind
+	// liveOutIdx is used by compTraceLiveOut.
+	liveOutIdx int
+}
+
+type compKind int
+
+const (
+	compALU compKind = iota
+	compBranch
+	compLoad
+	compStore
+	compTraceDone
+	compTraceLiveOut
+)
+
+// fetchSlot is an instruction moving through the in-order front end.
+type fetchSlot struct {
+	entry   *ROBEntry
+	readyAt uint64 // earliest rename cycle
+}
+
+// CPU is the simulated machine. Create one with New, then call Run.
+type CPU struct {
+	cfg   Config
+	prog  *program.Program
+	mem   *mem.Memory
+	hier  *cache.Hierarchy
+	bp    *branch.Predictor
+	mdp   *memdep.Predictor
+	hooks Hooks
+
+	cycle uint64
+	seq   uint64
+
+	pc          int
+	fetchStall  uint64 // fetch blocked until this cycle (icache miss)
+	haltFetched bool
+
+	// Front-end queue (fetched, waiting for rename+dispatch).
+	frontend []fetchSlot
+
+	// Register renaming.
+	rat          []int // arch reg -> phys
+	committedRAT []int
+	regs         []physReg
+	freeList     []int
+
+	// Backend structures.
+	rob   []*ROBEntry // in flight, oldest first
+	rs    []*ROBEntry // dispatched, waiting to issue
+	loads []*ROBEntry // load queue (program order)
+	strs  []*ROBEntry // store queue (program order)
+
+	// Completion events by cycle.
+	events map[uint64][]completion
+
+	// Per-FU-unit next-free cycle, indexed by pool then unit.
+	fuFree [isa.NumFUTypes][]uint64
+
+	stats Stats
+}
+
+// New builds a CPU over prog and memory m. A nil hierarchy gets the default
+// Table 4 hierarchy; nil predictor configs inside cfg are not allowed (use
+// DefaultConfig as a base).
+func New(cfg Config, prog *program.Program, m *mem.Memory, hier *cache.Hierarchy) *CPU {
+	cfg.validate()
+	if hier == nil {
+		hier = cache.DefaultHierarchy()
+	}
+	c := &CPU{
+		cfg:          cfg,
+		prog:         prog,
+		mem:          m,
+		hier:         hier,
+		bp:           branch.New(cfg.Branch),
+		mdp:          memdep.New(cfg.MemDep),
+		rat:          make([]int, isa.NumRegs),
+		committedRAT: make([]int, isa.NumRegs),
+		regs:         make([]physReg, cfg.PhysRegs),
+		events:       make(map[uint64][]completion),
+	}
+	// Phys reg 0 is the always-zero register; all arch regs start mapped
+	// to it (initial architectural state is zero).
+	c.regs[0] = physReg{value: 0, ready: true}
+	for r := range c.rat {
+		c.rat[r] = 0
+		c.committedRAT[r] = 0
+	}
+	for p := cfg.PhysRegs - 1; p >= 1; p-- {
+		c.freeList = append(c.freeList, p)
+	}
+	for t := range c.fuFree {
+		c.fuFree[t] = make([]uint64, cfg.FUCounts[t])
+	}
+	return c
+}
+
+// SetHooks installs the DynaSpAM hooks. Must be called before Run.
+func (c *CPU) SetHooks(h Hooks) { c.hooks = h }
+
+// Stats returns a copy of the activity counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Cycle returns the current cycle.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// Mem returns the architectural memory.
+func (c *CPU) Mem() *mem.Memory { return c.mem }
+
+// Hierarchy returns the cache hierarchy (shared with the fabric's LDST
+// units).
+func (c *CPU) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Branch returns the branch predictor (shared with trace detection).
+func (c *CPU) Branch() *branch.Predictor { return c.bp }
+
+// MemDep returns the store-sets predictor (shared with the fabric).
+func (c *CPU) MemDep() *memdep.Predictor { return c.mdp }
+
+// Program returns the program under execution.
+func (c *CPU) Program() *program.Program { return c.prog }
+
+// ArchReg returns the committed architectural value of r.
+func (c *CPU) ArchReg(r isa.Reg) uint64 { return c.regs[c.committedRAT[r]].value }
+
+// ArchRegInt returns the committed integer value of r.
+func (c *CPU) ArchRegInt(r isa.Reg) int64 { return int64(c.ArchReg(r)) }
+
+// ArchRegFloat returns the committed FP value of r.
+func (c *CPU) ArchRegFloat(r isa.Reg) float64 { return math.Float64frombits(c.ArchReg(r)) }
+
+// DebugState summarizes the pipeline's head-of-ROB state for deadlock
+// diagnostics.
+func (c *CPU) DebugState() string {
+	if len(c.rob) == 0 {
+		return fmt.Sprintf("cycle %d pc %d: ROB empty, frontend %d, rs %d", c.cycle, c.pc, len(c.frontend), len(c.rs))
+	}
+	h := c.rob[0]
+	extra := ""
+	if h.IsTrace() {
+		extra = fmt.Sprintf(" trace(res=%v liveInReady=%v)", h.TraceRes != nil, func() []bool {
+			var out []bool
+			for _, p := range h.traceLiveInPhys {
+				out = append(out, c.regs[p].ready)
+			}
+			return out
+		}())
+	}
+	return fmt.Sprintf("cycle %d pc %d: head seq=%d pc=%d op=%s issued=%v executed=%v%s (rob %d, rs %d, fe %d)",
+		c.cycle, c.pc, h.Seq, h.PC, h.Inst.Op, h.Issued, h.Executed, extra, len(c.rob), len(c.rs), len(c.frontend))
+}
+
+// Run simulates until the halt instruction commits. It returns an error if
+// the cycle budget is exhausted, which indicates a deadlock bug rather than
+// a program property.
+func (c *CPU) Run() error {
+	budget := c.cfg.MaxCycles
+	if budget == 0 {
+		budget = 2_000_000_000
+	}
+	for !c.stats.HaltSeen {
+		if c.cycle >= budget {
+			return fmt.Errorf("ooo: cycle budget %d exhausted at pc %d (deadlock?)", budget, c.pc)
+		}
+		c.step()
+	}
+	return nil
+}
+
+// step advances one cycle. Stages run back-to-front so same-cycle
+// producer→consumer flow matches a real pipeline's latch behaviour.
+func (c *CPU) step() {
+	c.commit()
+	if c.stats.HaltSeen {
+		return
+	}
+	c.writeback()
+	c.issue()
+	c.renameDispatch()
+	c.fetch()
+	c.cycle++
+	c.stats.Cycles++
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (c *CPU) fetch() {
+	if c.haltFetched || c.cycle < c.fetchStall {
+		return
+	}
+	// Front-end queue backpressure.
+	if len(c.frontend) >= c.cfg.ROBSize {
+		return
+	}
+	fetched := 0
+	for fetched < c.cfg.FetchWidth {
+		if !c.prog.Valid(c.pc) {
+			return
+		}
+		// DynaSpAM: give the framework a chance to take over.
+		if c.hooks.BeforeFetch != nil {
+			tr, stall := c.hooks.BeforeFetch(c.pc)
+			if stall {
+				return // FIFO backpressure: retry next cycle
+			}
+			if tr != nil {
+				c.fetchTrace(tr)
+				return // trace injection ends the fetch group
+			}
+		}
+		// Instruction cache timing: charge the line once per block.
+		lat := c.hier.AccessInst(uint64(c.pc) * 4)
+		// Next-line prefetch keeps sequential fetch streaming.
+		c.hier.PrefetchInst(uint64(c.pc)*4 + 64)
+		if lat > c.hier.L1I.Config().HitLatency {
+			// Miss: bubble until the line arrives, then re-fetch.
+			c.fetchStall = c.cycle + uint64(lat)
+			return
+		}
+		in := c.prog.At(c.pc)
+		e := &ROBEntry{
+			Seq:      c.nextSeq(),
+			PC:       c.pc,
+			Inst:     in,
+			PhysDest: -1,
+			OldPhys:  -1,
+			PhysSrc1: -1,
+			PhysSrc2: -1,
+			LQIndex:  -1,
+			SQIndex:  -1,
+		}
+		c.frontend = append(c.frontend, fetchSlot{entry: e, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)})
+		c.stats.Fetched++
+		if c.hooks.OnFetch != nil {
+			c.hooks.OnFetch(c.pc, e.Seq)
+		}
+		fetched++
+
+		switch {
+		case in.Op == isa.OpHalt:
+			c.haltFetched = true
+			return
+		case in.Op == isa.OpJmp:
+			e.PredTaken = true
+			e.PredTarget = in.Target
+			c.pc = in.Target
+			if _, ok := c.bp.PredictTarget(uint64(e.PC)); !ok {
+				c.bp.NoteBTBMiss()
+			}
+			// A taken control transfer ends the fetch group: the
+			// front end fetches through at most one taken branch
+			// per cycle.
+			return
+		case in.Op.IsCondBranch():
+			e.HistAtPred = c.bp.History()
+			taken := c.bp.PredictDirection(uint64(e.PC))
+			e.PredTaken = taken
+			c.bp.SpeculateHistory(taken)
+			if taken {
+				e.PredTarget = in.Target
+				c.pc = in.Target
+				if _, ok := c.bp.PredictTarget(uint64(e.PC)); !ok {
+					c.bp.NoteBTBMiss()
+				}
+				return // taken branch ends the fetch group
+			}
+			e.PredTarget = e.PC + 1
+			c.pc = e.PC + 1
+		default:
+			c.pc++
+		}
+	}
+}
+
+// fetchTrace injects a fat atomic trace invocation, checkpointing the global
+// branch history and shifting in the trace's predicted directions so that
+// lookahead past the invocation stays consistent.
+func (c *CPU) fetchTrace(tr *TraceInject) {
+	e := &ROBEntry{
+		Seq:      c.nextSeq(),
+		PC:       tr.StartPC,
+		Inst:     isa.Inst{Op: isa.OpNop, Dest: isa.RegInvalid, Src1: isa.RegInvalid, Src2: isa.RegInvalid},
+		PhysDest: -1,
+		OldPhys:  -1,
+		PhysSrc1: -1,
+		PhysSrc2: -1,
+		LQIndex:  -1,
+		SQIndex:  -1,
+		Trace:    tr,
+	}
+	e.HistAtPred = c.bp.History()
+	for _, d := range tr.PredDirs {
+		c.bp.SpeculateHistory(d)
+	}
+	c.frontend = append(c.frontend, fetchSlot{entry: e, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)})
+	c.stats.Fetched++
+	c.pc = tr.ExitPC
+}
+
+func (c *CPU) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// ------------------------------------------------------ rename/dispatch --
+
+// renameDispatch renames and dispatches up to RenameWidth instructions from
+// the front-end queue into the ROB, reservation stations and load/store
+// queues.
+func (c *CPU) renameDispatch() {
+	n := 0
+	for n < c.cfg.RenameWidth && len(c.frontend) > 0 {
+		slot := c.frontend[0]
+		if slot.readyAt > c.cycle {
+			return
+		}
+		e := slot.entry
+		if c.hooks.DispatchGate != nil && !c.hooks.DispatchGate(e.PC, e.Seq, len(c.rob) == 0) {
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			return
+		}
+		if e.IsTrace() {
+			if !c.renameTrace(e) {
+				return
+			}
+		} else {
+			if !c.renameInst(e) {
+				return
+			}
+		}
+		c.frontend = c.frontend[1:]
+		c.rob = append(c.rob, e)
+		e.Dispatched = true
+		e.DispatchedAt = c.cycle
+		c.stats.Renamed++
+		c.stats.Dispatched++
+		n++
+	}
+}
+
+// renameInst renames a normal instruction; false means a structural stall
+// (no free phys reg, RS or LSQ full).
+func (c *CPU) renameInst(e *ROBEntry) bool {
+	in := &e.Inst
+	needsRS := in.Op != isa.OpHalt && in.Op != isa.OpNop
+	if needsRS && len(c.rs) >= c.cfg.RSSize {
+		return false
+	}
+	if in.Op.IsLoad() && len(c.loads) >= c.cfg.LQSize {
+		return false
+	}
+	if in.Op.IsStore() && len(c.strs) >= c.cfg.SQSize {
+		return false
+	}
+	hasDest := in.Op.HasDest() && in.Dest != isa.RegZero
+	if hasDest && len(c.freeList) == 0 {
+		return false
+	}
+	srcs, nsrc := in.Sources()
+	if nsrc >= 1 {
+		e.PhysSrc1 = c.rat[srcs[0]]
+		c.stats.RegReads++
+	}
+	if nsrc >= 2 {
+		e.PhysSrc2 = c.rat[srcs[1]]
+		c.stats.RegReads++
+	}
+	if hasDest {
+		p := c.freeList[len(c.freeList)-1]
+		c.freeList = c.freeList[:len(c.freeList)-1]
+		c.regs[p] = physReg{}
+		e.PhysDest = p
+		e.OldPhys = c.rat[in.Dest]
+		c.rat[in.Dest] = p
+	}
+	if needsRS {
+		c.rs = append(c.rs, e)
+	} else {
+		e.Issued = true
+		e.Executed = true // halt/nop complete immediately
+	}
+	if in.Op.IsLoad() {
+		e.LQIndex = len(c.loads)
+		c.loads = append(c.loads, e)
+	}
+	if in.Op.IsStore() {
+		e.SQIndex = len(c.strs)
+		c.strs = append(c.strs, e)
+		// Register the in-flight store with the store-sets unit so that
+		// predicted-dependent loads wait for it until it executes.
+		c.mdp.CheckStore(uint64(e.PC), int(e.Seq))
+	}
+	return true
+}
+
+// renameTrace renames a trace invocation's live-ins and live-outs.
+func (c *CPU) renameTrace(e *ROBEntry) bool {
+	tr := e.Trace
+	need := 0
+	for _, r := range tr.LiveOuts {
+		if r != isa.RegZero {
+			need++
+		}
+	}
+	if need > len(c.freeList) {
+		return false
+	}
+	e.traceLiveInPhys = make([]int, len(tr.LiveIns))
+	for i, r := range tr.LiveIns {
+		e.traceLiveInPhys[i] = c.rat[r]
+		c.stats.RegReads++
+	}
+	e.traceLiveOutPhys = make([]int, len(tr.LiveOuts))
+	e.traceOldPhys = make([]int, len(tr.LiveOuts))
+	for i, r := range tr.LiveOuts {
+		if r == isa.RegZero {
+			e.traceLiveOutPhys[i] = -1
+			e.traceOldPhys[i] = -1
+			continue
+		}
+		p := c.freeList[len(c.freeList)-1]
+		c.freeList = c.freeList[:len(c.freeList)-1]
+		c.regs[p] = physReg{}
+		e.traceLiveOutPhys[i] = p
+		e.traceOldPhys[i] = c.rat[r]
+		c.rat[r] = p
+	}
+	c.stats.TraceLiveInMoves += uint64(len(tr.LiveIns))
+	c.stats.TraceLiveOutMoves += uint64(need)
+	c.rs = append(c.rs, e) // waits for live-ins like a normal RS entry
+	return true
+}
+
+// ---------------------------------------------------------------- issue --
+
+// fuCandidate reports whether entry e can issue this cycle: operands ready
+// plus op-specific conditions.
+func (c *CPU) fuCandidate(e *ROBEntry) bool {
+	if e.IsTrace() {
+		return c.traceReady(e)
+	}
+	if e.PhysSrc1 >= 0 && !c.regs[e.PhysSrc1].ready {
+		return false
+	}
+	if e.PhysSrc2 >= 0 && !c.regs[e.PhysSrc2].ready {
+		return false
+	}
+	if e.Inst.Op.IsLoad() {
+		return c.loadMayIssue(e)
+	}
+	return true
+}
+
+// loadMayIssue enforces memory-ordering rules for load issue.
+func (c *CPU) loadMayIssue(e *ROBEntry) bool {
+	// The address operand is known ready here; compute the address for
+	// disambiguation (idempotent).
+	addr := uint64(int64(c.regs[e.PhysSrc1].value) + e.Inst.Imm)
+	for _, s := range c.strs {
+		if s.Seq >= e.Seq {
+			break
+		}
+		if !s.AddrValid {
+			// Older store with unknown address.
+			if !c.cfg.MemSpeculation {
+				return false
+			}
+			// Store-sets: if the predictor says this load depends on
+			// an in-flight store, wait until no predicted store is
+			// outstanding.
+			if tag := c.mdp.CheckLoad(uint64(e.PC)); tag != memdep.InvalidTag {
+				return false
+			}
+			continue
+		}
+		if overlaps(s.Addr, addr) && !s.Executed {
+			// Known-aliasing store whose data is not ready yet.
+			return false
+		}
+	}
+	// Older trace invocations that have not evaluated yet have unknown
+	// store sets; conservative mode waits for them, speculative mode
+	// waits only when the store-sets unit links this load to one of the
+	// invocation's stores.
+	for _, o := range c.rob {
+		if o.Seq >= e.Seq {
+			break
+		}
+		if !o.IsTrace() || o.TraceRes != nil {
+			continue
+		}
+		if !c.cfg.MemSpeculation {
+			return false
+		}
+		for _, spc := range o.Trace.StorePCs {
+			if c.mdp.SameSet(uint64(e.PC), uint64(spc)) {
+				return false
+			}
+		}
+	}
+	e.Addr = addr
+	e.AddrValid = true
+	return true
+}
+
+// overlaps reports whether two 8-byte accesses intersect.
+func overlaps(a, b uint64) bool {
+	return a < b+8 && b < a+8
+}
+
+// traceReady decides whether a trace invocation can begin evaluation.
+func (c *CPU) traceReady(e *ROBEntry) bool {
+	for _, p := range e.traceLiveInPhys {
+		if !c.regs[p].ready {
+			return false
+		}
+	}
+	if e.Trace.Conservative {
+		// Wait for every older store (host or trace) to be fully known.
+		for _, s := range c.strs {
+			if s.Seq < e.Seq && !s.Executed {
+				return false
+			}
+		}
+	} else {
+		// Speculative: wait only for older unexecuted host stores the
+		// store-sets unit links to one of the invocation's loads.
+		for _, s := range c.strs {
+			if s.Seq >= e.Seq {
+				break
+			}
+			if s.Executed {
+				continue
+			}
+			for _, lpc := range e.Trace.LoadPCs {
+				if c.mdp.SameSet(uint64(s.PC), uint64(lpc)) {
+					return false
+				}
+			}
+		}
+	}
+	// Older trace invocations must have evaluated: their store buffers
+	// are this invocation's forwarding source (in-order wave evaluation
+	// through the configuration FIFOs).
+	for _, o := range c.rob {
+		if o.Seq >= e.Seq {
+			break
+		}
+		if o.IsTrace() && o.TraceRes == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// issue selects up to IssueWidth ready instructions onto free functional
+// units, oldest-first (or per the SelectOverride hook), and schedules their
+// completions.
+func (c *CPU) issue() {
+	if c.hooks.BeginIssue != nil {
+		c.hooks.BeginIssue()
+	}
+	if len(c.rs) == 0 {
+		return
+	}
+	issued := 0
+	// Gather ready entries per FU pool once.
+	var readyByFU [isa.NumFUTypes][]*RSEntry
+	var trace []*ROBEntry
+	for _, e := range c.rs {
+		if e.Issued {
+			continue
+		}
+		if !c.fuCandidate(e) {
+			continue
+		}
+		if e.IsTrace() {
+			trace = append(trace, e)
+			continue
+		}
+		fu := e.Inst.Op.FU()
+		readyByFU[fu] = append(readyByFU[fu], &RSEntry{ROB: e})
+	}
+	// Trace invocations issue on a virtual fabric port, not an OOO FU.
+	for _, e := range trace {
+		c.issueTrace(e)
+	}
+	for fu := isa.FUType(0); fu < isa.NumFUTypes; fu++ {
+		cand := readyByFU[fu]
+		for unit := 0; unit < c.cfg.FUCounts[fu] && issued < c.cfg.IssueWidth; unit++ {
+			if c.fuFree[fu][unit] > c.cycle {
+				continue // unit busy (non-pipelined op)
+			}
+			if len(cand) == 0 {
+				break
+			}
+			idx := 0 // oldest-first: cand is in RS (dispatch) order
+			if c.hooks.SelectOverride != nil {
+				idx = c.hooks.SelectOverride(fu, unit, cand)
+				if idx < 0 || idx >= len(cand) {
+					continue
+				}
+			}
+			e := cand[idx].ROB
+			cand = append(cand[:idx:idx], cand[idx+1:]...)
+			c.issueOne(e, fu, unit)
+			issued++
+		}
+		readyByFU[fu] = cand
+	}
+	c.compactRS()
+}
+
+// issueOne executes e functionally and schedules its writeback.
+func (c *CPU) issueOne(e *ROBEntry, fu isa.FUType, unit int) {
+	e.Issued = true
+	c.stats.Issued++
+	if c.hooks.OnIssue != nil {
+		c.hooks.OnIssue(&RSEntry{ROB: e}, fu, unit)
+	}
+	in := &e.Inst
+	lat := in.Op.Latency()
+	var kind compKind
+	switch {
+	case in.Op.IsCondBranch() || in.Op == isa.OpJmp:
+		kind = compBranch
+		if in.Op == isa.OpJmp {
+			e.Taken = true
+			e.Target = in.Target
+		} else {
+			a := int64(c.regs[e.PhysSrc1].value)
+			b := int64(c.regs[e.PhysSrc2].value)
+			e.Taken = isa.BranchTaken(in.Op, a, b)
+			if e.Taken {
+				e.Target = in.Target
+			} else {
+				e.Target = e.PC + 1
+			}
+		}
+	case in.Op.IsLoad():
+		kind = compLoad
+		c.stats.LoadsExecuted++
+		val, fwd, ok := c.forwardFromStores(e.Seq, e.Addr)
+		if ok {
+			e.StoreVal = val
+			if fwd {
+				c.stats.StoreForwards++
+				lat += 1
+			} else {
+				lat += c.hier.AccessData(e.Addr, false)
+			}
+		} else {
+			// Unreachable if loadMayIssue gated correctly; read
+			// memory as a safe default.
+			e.StoreVal = c.mem.Read64(e.Addr)
+			lat += c.hier.AccessData(e.Addr, false)
+		}
+	case in.Op.IsStore():
+		kind = compStore
+		c.stats.StoresExecuted++
+		e.Addr = uint64(int64(c.regs[e.PhysSrc1].value) + in.Imm)
+		e.AddrValid = true
+		e.StoreVal = c.regs[e.PhysSrc2].value
+		// Charge the cache fill now (write-allocate); commit drains the
+		// store buffer without stalling.
+		c.hier.AccessData(e.Addr, true)
+	default:
+		kind = compALU
+		// Non-pipelined long-latency units occupy the unit.
+		if in.Op.Class() == isa.ClassIntDiv || in.Op.Class() == isa.ClassFPDiv {
+			c.fuFree[fu][unit] = c.cycle + uint64(lat)
+		}
+	}
+	c.schedule(c.cycle+uint64(lat), completion{entry: e, kind: kind})
+}
+
+// forwardFromStores finds the youngest older store (host SQ entry or trace
+// store buffer) covering addr. Returns its value, whether it was a forward
+// (vs memory read), and ok.
+func (c *CPU) forwardFromStores(seq uint64, addr uint64) (val uint64, forwarded, ok bool) {
+	var best *ROBEntry
+	var bestTraceVal uint64
+	bestIsTrace := false
+	for _, s := range c.strs {
+		if s.Seq >= seq {
+			break
+		}
+		if s.AddrValid && s.Executed && s.Addr == addr {
+			if best == nil || s.Seq > best.Seq {
+				best = s
+				bestIsTrace = false
+			}
+		}
+	}
+	for _, o := range c.rob {
+		if o.Seq >= seq {
+			break
+		}
+		if o.IsTrace() && o.TraceRes != nil {
+			for i := range o.TraceRes.Stores {
+				st := &o.TraceRes.Stores[i]
+				if st.Addr == addr {
+					if best == nil || o.Seq >= best.Seq {
+						best = o
+						bestTraceVal = st.Value
+						bestIsTrace = true
+					}
+				}
+			}
+		}
+	}
+	if best != nil {
+		if bestIsTrace {
+			return bestTraceVal, true, true
+		}
+		return best.StoreVal, true, true
+	}
+	return c.mem.Read64(addr), false, true
+}
+
+// issueTrace begins fabric evaluation of a trace invocation.
+func (c *CPU) issueTrace(e *ROBEntry) {
+	e.Issued = true
+	c.stats.Issued++
+	c.stats.TraceInvocations++
+	tr := e.Trace
+	in := TraceInput{
+		LiveIns:  make([]uint64, len(tr.LiveIns)),
+		Arrivals: make([]int64, len(tr.LiveIns)),
+		Cycle:    c.cycle,
+		ReadMem: func(addr uint64) uint64 {
+			v, _, _ := c.forwardFromStores(e.Seq, addr)
+			return v
+		},
+	}
+	for i, p := range e.traceLiveInPhys {
+		in.LiveIns[i] = c.regs[p].value
+		// A live-in enters its FIFO when its value is produced, but no
+		// earlier than the invocation's dispatch (FIFO allocation).
+		at := c.regs[p].readyAt
+		if at < e.DispatchedAt {
+			at = e.DispatchedAt
+		}
+		in.Arrivals[i] = int64(at)
+	}
+	res := tr.Evaluate(in)
+	e.TraceRes = &res
+	c.stats.TraceFabricLoads += uint64(len(res.Loads))
+	c.stats.TraceFabricStores += uint64(len(res.Stores))
+	if res.Latency < 1 {
+		res.Latency = 1
+	}
+	// Schedule per-live-out wakeups (pipelined forwarding) and the final
+	// completion.
+	if res.ExitMatches && !res.MemViolation {
+		for i := range e.traceLiveOutPhys {
+			delay := res.Latency
+			if res.LiveOutDelay != nil && i < len(res.LiveOutDelay) {
+				delay = res.LiveOutDelay[i]
+				if delay < 1 {
+					delay = 1
+				}
+			}
+			c.schedule(c.cycle+uint64(delay), completion{entry: e, kind: compTraceLiveOut, liveOutIdx: i})
+		}
+	}
+	c.schedule(c.cycle+uint64(res.Latency), completion{entry: e, kind: compTraceDone})
+}
+
+func (c *CPU) schedule(at uint64, comp completion) {
+	if at <= c.cycle {
+		at = c.cycle + 1
+	}
+	c.events[at] = append(c.events[at], comp)
+}
+
+// compactRS removes issued entries from the reservation stations.
+func (c *CPU) compactRS() {
+	out := c.rs[:0]
+	for _, e := range c.rs {
+		if !e.Issued {
+			out = append(out, e)
+		}
+	}
+	c.rs = out
+}
+
+// ------------------------------------------------------------ writeback --
+
+func (c *CPU) writeback() {
+	comps := c.events[c.cycle]
+	if comps == nil {
+		return
+	}
+	delete(c.events, c.cycle)
+	// Squashes triggered mid-list do not stop processing: the inROB
+	// re-check skips completions of flushed entries, while surviving
+	// entries' completions must still land this cycle.
+	for _, comp := range comps {
+		e := comp.entry
+		if !c.inROB(e) {
+			continue // squashed while in flight
+		}
+		switch comp.kind {
+		case compALU:
+			c.writebackALU(e)
+		case compBranch:
+			c.writebackBranch(e)
+		case compLoad:
+			c.writeResult(e, e.StoreVal)
+			e.Executed = true
+		case compStore:
+			e.Executed = true
+			c.mdpRegisterStore(e)
+			c.checkViolation(e)
+		case compTraceDone:
+			c.writebackTraceDone(e)
+		case compTraceLiveOut:
+			c.writebackTraceLiveOut(e, comp.liveOutIdx)
+		}
+		if c.hooks.OnWriteback != nil && comp.kind != compTraceLiveOut {
+			c.hooks.OnWriteback(e.PC, e.Seq)
+		}
+	}
+}
+
+func (c *CPU) writebackALU(e *ROBEntry) {
+	in := &e.Inst
+	var result uint64
+	switch {
+	case in.Op == isa.OpFSlt:
+		a := math.Float64frombits(c.regs[e.PhysSrc1].value)
+		b := math.Float64frombits(c.regs[e.PhysSrc2].value)
+		if a < b {
+			result = 1
+		}
+	case in.Op == isa.OpItoF:
+		result = math.Float64bits(float64(int64(c.regs[e.PhysSrc1].value)))
+	case in.Op == isa.OpFtoI:
+		result = uint64(int64(math.Float64frombits(c.regs[e.PhysSrc1].value)))
+	case in.Op.Class() == isa.ClassFPALU || in.Op.Class() == isa.ClassFPMul || in.Op.Class() == isa.ClassFPDiv:
+		var a, b float64
+		if e.PhysSrc1 >= 0 {
+			a = math.Float64frombits(c.regs[e.PhysSrc1].value)
+		}
+		if e.PhysSrc2 >= 0 {
+			b = math.Float64frombits(c.regs[e.PhysSrc2].value)
+		}
+		result = math.Float64bits(isa.FPOp(in.Op, a, b, in.FImm))
+	default:
+		var a, b int64
+		if e.PhysSrc1 >= 0 {
+			a = int64(c.regs[e.PhysSrc1].value)
+		}
+		if e.PhysSrc2 >= 0 {
+			b = int64(c.regs[e.PhysSrc2].value)
+		}
+		result = uint64(isa.IntOp(in.Op, a, b, in.Imm))
+	}
+	c.writeResult(e, result)
+	e.Executed = true
+}
+
+// writeResult writes e's destination physical register and broadcasts.
+func (c *CPU) writeResult(e *ROBEntry, v uint64) {
+	if e.PhysDest >= 0 {
+		c.regs[e.PhysDest] = physReg{value: v, ready: true, readyAt: c.cycle}
+		c.stats.RegWrites++
+		c.stats.Broadcasts++
+	}
+}
+
+func (c *CPU) writebackBranch(e *ROBEntry) {
+	e.Executed = true
+	c.stats.BranchResolved++
+	mispredicted := e.Taken != e.PredTaken || (e.Taken && e.Target != e.PredTarget)
+	if e.Inst.Op.IsCondBranch() {
+		c.bp.Update(uint64(e.PC), e.HistAtPred, e.Taken, e.Target, mispredicted)
+	} else if e.Taken {
+		c.bp.UpdateBTB(uint64(e.PC), e.Target)
+	}
+	if mispredicted {
+		c.stats.BranchMispredicts++
+		// Restore history to the point of prediction, then shift in
+		// the actual outcome.
+		c.bp.Restore(e.HistAtPred)
+		c.bp.SpeculateHistory(e.Taken)
+		c.squashAfter(e.Seq, e.Target)
+	}
+}
+
+// mdpRegisterStore tells the store-sets predictor the store has resolved:
+// once address and data are known, dependent loads use ordinary
+// disambiguation instead of the predictor.
+func (c *CPU) mdpRegisterStore(e *ROBEntry) {
+	c.mdp.StoreRetired(uint64(e.PC), int(e.Seq))
+}
+
+// checkViolation scans for younger loads (host LQ or trace invocations) that
+// executed before store e and read a stale value. The squash must start at
+// the oldest violating consumer: everything from the consumer onward
+// re-executes, while instructions between the store and the consumer keep
+// their results. Returns true if a squash occurred.
+func (c *CPU) checkViolation(e *ROBEntry) bool {
+	var victim *ROBEntry // oldest violating consumer
+	victimPC := 0
+	for _, l := range c.loads {
+		// A load has read its value at issue time, so the violation
+		// window opens at issue, not writeback.
+		if l.Seq <= e.Seq || !l.Issued || !l.AddrValid {
+			continue
+		}
+		if !overlaps(e.Addr, l.Addr) {
+			continue
+		}
+		// Is there an intervening store that re-covers the load?
+		if c.interveningStore(e.Seq, l.Seq, l.Addr) {
+			continue
+		}
+		if l.StoreVal == e.StoreVal && e.Addr == l.Addr {
+			continue // read the right value by luck; no squash
+		}
+		if victim == nil || l.Seq < victim.Seq {
+			victim, victimPC = l, l.PC
+		}
+		c.mdp.Violation(uint64(l.PC), uint64(e.PC))
+	}
+	// Trace invocations: their recorded loads are snooped the same way.
+	for _, o := range c.rob {
+		if o.Seq <= e.Seq || !o.IsTrace() || o.TraceRes == nil {
+			continue
+		}
+		for i := range o.TraceRes.Loads {
+			l := &o.TraceRes.Loads[i]
+			if !overlaps(e.Addr, l.Addr) || c.interveningStore(e.Seq, o.Seq, l.Addr) {
+				continue
+			}
+			if e.Addr == l.Addr && l.Value == e.StoreVal {
+				continue
+			}
+			c.mdp.Violation(uint64(l.PC), uint64(e.PC))
+			if victim == nil || o.Seq < victim.Seq {
+				victim, victimPC = o, o.Trace.StartPC
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.stats.MemViolations++
+	if victim.IsTrace() {
+		c.stats.TraceSquashes++
+		if victim.Trace.OnSquash != nil {
+			victim.Trace.OnSquash(SquashMemOrder)
+		}
+	}
+	c.squashFrom(victim.Seq, victimPC)
+	return true
+}
+
+// traceStoreViolations runs when a trace invocation's stores become known:
+// younger host loads that issued before the evaluation may have read stale
+// values. Returns true if a squash occurred.
+func (c *CPU) traceStoreViolations(e *ROBEntry) bool {
+	res := e.TraceRes
+	var victim *ROBEntry
+	var victimStPC int
+	for i := range res.Stores {
+		st := &res.Stores[i]
+		for _, l := range c.loads {
+			if l.Seq <= e.Seq || !l.Issued || !l.AddrValid {
+				continue
+			}
+			if !overlaps(st.Addr, l.Addr) || c.interveningStore(e.Seq, l.Seq, l.Addr) {
+				continue
+			}
+			if st.Addr == l.Addr && l.StoreVal == st.Value {
+				continue
+			}
+			c.mdp.Violation(uint64(l.PC), uint64(st.PC))
+			if victim == nil || l.Seq < victim.Seq {
+				victim, victimStPC = l, st.PC
+			}
+		}
+	}
+	_ = victimStPC
+	if victim == nil {
+		return false
+	}
+	c.stats.MemViolations++
+	c.squashFrom(victim.Seq, victim.PC)
+	return true
+}
+
+// interveningStore reports whether a store with sequence in (after, before)
+// covers addr, which would make an older store's value irrelevant.
+func (c *CPU) interveningStore(after, before uint64, addr uint64) bool {
+	for _, s := range c.strs {
+		if s.Seq > after && s.Seq < before && s.AddrValid && s.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// writebackTraceDone finalizes a trace invocation. Returns true if it
+// squashed the pipeline.
+func (c *CPU) writebackTraceDone(e *ROBEntry) bool {
+	res := e.TraceRes
+	if !res.ExitMatches || res.MemViolation {
+		kind := SquashBranchExit
+		if res.MemViolation {
+			kind = SquashMemOrder
+			c.stats.MemViolations++
+		}
+		c.stats.TraceSquashes++
+		if e.Trace.OnSquash != nil {
+			e.Trace.OnSquash(kind)
+		}
+		// Rewind the global history to the injection point; the host
+		// re-predicts the region's branches as it re-executes it.
+		c.bp.Restore(e.HistAtPred)
+		// Train the direction predictor with the outcomes the fabric
+		// observed, so the next walk follows the real path.
+		hist := e.HistAtPred
+		for _, br := range res.Branches {
+			if c.prog.At(br.PC).Op.IsCondBranch() {
+				target := br.PC + 1
+				if br.Taken {
+					target = c.prog.At(br.PC).Target
+				}
+				c.bp.Update(uint64(br.PC), hist, br.Taken, target, false)
+				hist = hist<<1 | histBit(br.Taken)
+			}
+		}
+		c.squashFrom(e.Seq, e.Trace.StartPC)
+		return true
+	}
+	// The invocation itself is complete; a violation below squashes only
+	// younger consumers, so mark completion first.
+	e.Executed = true
+	if e.Trace.OnComplete != nil {
+		e.Trace.OnComplete()
+	}
+	// The invocation's stores are now architectural candidates: snoop
+	// younger host loads that issued before the evaluation.
+	return c.traceStoreViolations(e)
+}
+
+func (c *CPU) writebackTraceLiveOut(e *ROBEntry, i int) {
+	if e.TraceRes == nil || !e.TraceRes.ExitMatches {
+		return
+	}
+	p := e.traceLiveOutPhys[i]
+	if p < 0 {
+		return
+	}
+	if i < len(e.TraceRes.LiveOuts) {
+		c.regs[p] = physReg{value: e.TraceRes.LiveOuts[i], ready: true, readyAt: c.cycle}
+		c.stats.RegWrites++
+		c.stats.Broadcasts++
+	}
+}
+
+func (c *CPU) inROB(e *ROBEntry) bool {
+	for _, o := range c.rob {
+		if o == e {
+			return true
+		}
+	}
+	return false
+}
+
+// ----------------------------------------------------------------- squash --
+
+// squashAfter flushes every instruction strictly younger than seq and
+// redirects fetch to pc.
+func (c *CPU) squashAfter(seq uint64, pc int) { c.squashBoundary(seq, false, pc) }
+
+// squashFrom flushes seq itself and everything younger, redirecting to pc.
+func (c *CPU) squashFrom(seq uint64, pc int) { c.squashBoundary(seq, true, pc) }
+
+func (c *CPU) squashBoundary(seq uint64, inclusive bool, pc int) {
+	keep := func(s uint64) bool {
+		if inclusive {
+			return s < seq
+		}
+		return s <= seq
+	}
+	// Flush front end entirely, notifying trace injections that never
+	// reached the ROB.
+	for _, slot := range c.frontend {
+		if slot.entry.IsTrace() && slot.entry.Trace.OnSquash != nil {
+			slot.entry.Trace.OnSquash(SquashExternal)
+		}
+	}
+	c.frontend = c.frontend[:0]
+	c.haltFetched = false
+	c.fetchStall = 0
+
+	// Trim ROB.
+	var kept []*ROBEntry
+	for _, e := range c.rob {
+		if keep(e.Seq) {
+			kept = append(kept, e)
+			continue
+		}
+		c.stats.Squashed++
+		if e.IsTrace() {
+			// The initiator already notified the boundary entry
+			// itself; every other squashed invocation is external.
+			if e.Trace.OnSquash != nil && !(inclusive && e.Seq == seq) {
+				e.Trace.OnSquash(SquashExternal)
+			}
+			for _, p := range e.traceLiveOutPhys {
+				if p >= 0 {
+					c.freeList = append(c.freeList, p)
+				}
+			}
+		} else if e.PhysDest >= 0 {
+			c.freeList = append(c.freeList, e.PhysDest)
+		}
+	}
+	c.rob = kept
+
+	// Rebuild RS / LQ / SQ from surviving entries.
+	c.rs = c.rs[:0]
+	c.loads = c.loads[:0]
+	c.strs = c.strs[:0]
+	for _, e := range c.rob {
+		if !e.Issued {
+			c.rs = append(c.rs, e)
+		}
+		if e.IsTrace() {
+			continue
+		}
+		if e.Inst.Op.IsLoad() {
+			c.loads = append(c.loads, e)
+		}
+		if e.Inst.Op.IsStore() {
+			c.strs = append(c.strs, e)
+		}
+	}
+
+	// Drop completion events of squashed entries (inROB re-check also
+	// guards, but trimming keeps the event map small).
+	for at, evs := range c.events {
+		out := evs[:0]
+		for _, ev := range evs {
+			if keep(ev.entry.Seq) {
+				out = append(out, ev)
+			}
+		}
+		if len(out) == 0 {
+			delete(c.events, at)
+		} else {
+			c.events[at] = out
+		}
+	}
+
+	// Rebuild the speculative RAT: committed map + surviving renames.
+	copy(c.rat, c.committedRAT)
+	for _, e := range c.rob {
+		if e.IsTrace() {
+			for i, r := range e.Trace.LiveOuts {
+				if e.traceLiveOutPhys[i] >= 0 {
+					c.rat[r] = e.traceLiveOutPhys[i]
+				}
+			}
+			continue
+		}
+		if e.PhysDest >= 0 {
+			c.rat[e.Inst.Dest] = e.PhysDest
+		}
+	}
+
+	// Store-sets: drop in-flight registrations of squashed stores, then
+	// re-register surviving unexecuted stores.
+	c.mdp.Flush()
+	for _, s := range c.strs {
+		if !s.Executed {
+			c.mdp.CheckStore(uint64(s.PC), int(s.Seq))
+		}
+	}
+
+	c.pc = pc
+	if c.hooks.OnSquash != nil {
+		c.hooks.OnSquash(seq)
+	}
+}
+
+// ---------------------------------------------------------------- commit --
+
+func (c *CPU) commit() {
+	n := 0
+	for n < c.cfg.CommitWidth && len(c.rob) > 0 {
+		e := c.rob[0]
+		if !e.Executed && !(e.IsTrace() && e.TraceRes != nil && e.TraceRes.ExitMatches && !e.TraceRes.MemViolation) {
+			return
+		}
+		if e.IsTrace() {
+			if !e.Executed {
+				return
+			}
+			c.commitTrace(e)
+		} else {
+			c.commitInst(e)
+		}
+		c.rob = c.rob[1:]
+		n++
+		if c.stats.HaltSeen {
+			return
+		}
+	}
+}
+
+func (c *CPU) commitInst(e *ROBEntry) {
+	in := &e.Inst
+	c.stats.Committed++
+	if in.Op == isa.OpHalt {
+		c.stats.HaltSeen = true
+		return
+	}
+	if e.PhysDest >= 0 {
+		old := c.committedRAT[in.Dest]
+		c.committedRAT[in.Dest] = e.PhysDest
+		if old != 0 {
+			c.freeList = append(c.freeList, old)
+		}
+	}
+	if in.Op.IsStore() {
+		c.mem.Write64(e.Addr, e.StoreVal)
+		c.strs = removeEntry(c.strs, e)
+	}
+	if in.Op.IsLoad() {
+		c.loads = removeEntry(c.loads, e)
+	}
+	if in.Op.IsBranch() && c.hooks.OnCommitBranch != nil {
+		c.hooks.OnCommitBranch(e.PC, e.Taken)
+	}
+	if c.hooks.OnCommit != nil {
+		c.hooks.OnCommit(e.PC, e.Seq, in.Op)
+	}
+}
+
+func (c *CPU) commitTrace(e *ROBEntry) {
+	res := e.TraceRes
+	c.stats.Committed += uint64(res.Ops)
+	c.stats.TraceCommittedOps += uint64(res.Ops)
+	for i := range res.Stores {
+		st := &res.Stores[i]
+		c.mem.Write64(st.Addr, st.Value)
+	}
+	for i, r := range e.Trace.LiveOuts {
+		p := e.traceLiveOutPhys[i]
+		if p < 0 {
+			continue
+		}
+		old := c.committedRAT[r]
+		c.committedRAT[r] = p
+		if old != 0 {
+			c.freeList = append(c.freeList, old)
+		}
+	}
+	if e.Trace.OnCommit != nil {
+		e.Trace.OnCommit(res)
+	}
+	if c.hooks.OnCommit != nil {
+		c.hooks.OnCommit(e.PC, e.Seq, isa.OpNop)
+	}
+}
+
+func histBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func removeEntry(list []*ROBEntry, e *ROBEntry) []*ROBEntry {
+	for i, x := range list {
+		if x == e {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,205 @@
+package ooo
+
+import "dynaspam/internal/isa"
+
+// SquashKind classifies why a trace invocation was squashed.
+type SquashKind int
+
+const (
+	// SquashBranchExit: a branch inside the trace resolved off the
+	// trace's recorded path; the whole invocation is discarded and the
+	// host re-executes from the trace start.
+	SquashBranchExit SquashKind = iota
+	// SquashMemOrder: a memory-order violation, either inside the
+	// invocation or against an older host store.
+	SquashMemOrder
+	// SquashExternal: an older instruction (e.g. a mispredicted branch
+	// before the trace) squashed the invocation.
+	SquashExternal
+)
+
+// String implements fmt.Stringer.
+func (k SquashKind) String() string {
+	switch k {
+	case SquashBranchExit:
+		return "branch-exit"
+	case SquashMemOrder:
+		return "mem-order"
+	case SquashExternal:
+		return "external"
+	}
+	return "unknown"
+}
+
+// TraceInput is what the fabric receives when an invocation begins
+// evaluation.
+type TraceInput struct {
+	// LiveIns holds the raw 64-bit values of the injected trace's LiveIns,
+	// in the same order.
+	LiveIns []uint64
+	// Arrivals gives, per live-in, the absolute cycle its value reached
+	// the input FIFO. The FIFOs decouple operand delivery from invocation
+	// start, so early sub-graphs of the trace overlap with the producers
+	// of late live-ins.
+	Arrivals []int64
+	// ReadMem reads 8 bytes at addr as seen at the invocation's position
+	// in program order: younger-first forwarding from older in-flight
+	// stores, then architectural memory.
+	ReadMem func(addr uint64) uint64
+	// Cycle is the cycle at which evaluation begins.
+	Cycle uint64
+}
+
+// StoreRecord is one store performed by a trace invocation, buffered in the
+// side re-order buffer (ROB') and applied to memory at commit.
+type StoreRecord struct {
+	PC    int
+	Addr  uint64
+	Value uint64
+	IsFP  bool
+}
+
+// LoadRecord is one load performed by a trace invocation, kept for
+// violation snooping against older host stores.
+type LoadRecord struct {
+	PC    int
+	Addr  uint64
+	Value uint64
+}
+
+// BranchRec is one branch outcome observed inside a trace invocation; the
+// framework feeds these to trace detection and predictor training on commit.
+type BranchRec struct {
+	PC    int
+	Taken bool
+}
+
+// TraceResult is the outcome of evaluating one invocation on the fabric.
+type TraceResult struct {
+	// Latency is the invocation's total cycles from evaluation start to
+	// last result.
+	Latency int
+	// LiveOuts holds the raw values of the injected trace's LiveOuts, in
+	// order. Ignored when the invocation exits early (ExitMatches false).
+	LiveOuts []uint64
+	// LiveOutDelay, if non-nil, gives per-live-out ready offsets from
+	// evaluation start, enabling pipelined forwarding to dependent
+	// instructions before the whole invocation finishes. Nil means all
+	// live-outs are ready at Latency.
+	LiveOutDelay []int
+	// Stores and Loads record the invocation's memory activity.
+	Stores []StoreRecord
+	Loads  []LoadRecord
+	// Branches records the outcome of every branch executed, in trace
+	// order (truncated at an early exit).
+	Branches []BranchRec
+	// ActualExitPC is where control flow actually leaves the trace.
+	ActualExitPC int
+	// ExitMatches is true when every branch inside the trace followed the
+	// recorded path.
+	ExitMatches bool
+	// MemViolation is true when the fabric detected an intra-invocation
+	// memory-order violation under speculation (predictor already
+	// retrained by the fabric).
+	MemViolation bool
+	// Ops is the number of instructions the invocation retires.
+	Ops int
+	// StartTimes holds each instruction's absolute start cycle; the next
+	// invocation of the same configuration may not start an instruction
+	// on the same PE within the same cycle (initiation constraint).
+	StartTimes []int64
+	// LastStoreDone is the absolute completion cycle of the invocation's
+	// youngest store (0 when there are none); conservative mode orders
+	// the next invocation's memory operations after it.
+	LastStoreDone int64
+}
+
+// TraceInject describes a fat atomic trace invocation handed to fetch by the
+// DynaSpAM framework. The pipeline renames its live-ins/live-outs, gives it
+// one ROB entry backed by a side record (ROB'), evaluates it on the fabric
+// when its inputs are ready, and commits or squashes it atomically.
+type TraceInject struct {
+	// StartPC is the first instruction of the trace (fetch redirect target
+	// on squash).
+	StartPC int
+	// ExitPC is the predicted fall-out PC; fetch resumes there.
+	ExitPC int
+	// LiveIns and LiveOuts are the architectural registers the trace reads
+	// from and exposes to the host pipeline.
+	LiveIns  []isa.Reg
+	LiveOuts []isa.Reg
+	// NumInsts is the trace length in instructions.
+	NumInsts int
+	// PredDirs holds the predicted direction of each branch inside the
+	// trace, in trace order; fetch shifts these into the global history
+	// at injection.
+	PredDirs []bool
+	// LoadPCs and StorePCs are the simplified memory-instruction lists of
+	// the configuration (§3.2): at dispatch they are registered with the
+	// store-sets unit so the invocation orders behind predicted-dependent
+	// host stores, and predicted-dependent host loads wait for it.
+	LoadPCs  []int
+	StorePCs []int
+	// Conservative, when true, delays evaluation until every older store
+	// in the ROB has a known address and value ("w/o speculation" mode).
+	Conservative bool
+	// Evaluate runs the invocation on the fabric.
+	Evaluate func(in TraceInput) TraceResult
+	// OnComplete fires when the invocation finishes on the fabric and its
+	// live-outs have broadcast (the input/output FIFO entries free here,
+	// before the atomic commit through ROB').
+	OnComplete func()
+	// OnCommit and OnSquash observe the invocation's fate.
+	OnCommit func(res *TraceResult)
+	OnSquash func(kind SquashKind)
+}
+
+// Hooks lets the DynaSpAM framework observe and steer the pipeline. All
+// fields are optional; a zero Hooks value leaves the pipeline a plain OOO
+// machine.
+type Hooks struct {
+	// BeforeFetch is consulted when fetch is about to fetch the
+	// instruction at pc. Returning a non-nil TraceInject replaces the
+	// normal fetch: the invocation occupies the slot and fetch continues
+	// at ExitPC next cycle. Returning stall=true ends the fetch group
+	// without fetching (input-FIFO backpressure); fetch retries at the
+	// same pc next cycle.
+	BeforeFetch func(pc int) (inject *TraceInject, stall bool)
+
+	// OnFetch observes every normally fetched instruction with its
+	// sequence number.
+	OnFetch func(pc int, seq uint64)
+
+	// DispatchGate, if it returns false, stalls the dispatch of the
+	// instruction with the given sequence number this cycle. robEmpty
+	// reports whether the ROB currently holds no instructions (used to
+	// drain the back end before a mapping session).
+	DispatchGate func(pc int, seq uint64, robEmpty bool) bool
+
+	// BeginIssue is called once per cycle before instruction selection;
+	// the mapper uses it to advance the scheduling frontier.
+	BeginIssue func()
+
+	// SelectOverride replaces the oldest-first pick for one functional
+	// unit during issue. ready lists the candidate reservation-station
+	// entries that can issue to this unit this cycle; return an index into
+	// ready, or -1 to issue nothing on this unit.
+	SelectOverride func(fu isa.FUType, unit int, ready []*RSEntry) int
+
+	// OnIssue observes each issued instruction with its renamed
+	// registers and the unit it was assigned.
+	OnIssue func(e *RSEntry, fu isa.FUType, unit int)
+
+	// OnWriteback observes each completed instruction.
+	OnWriteback func(pc int, seq uint64)
+
+	// OnCommit observes each committed instruction.
+	OnCommit func(pc int, seq uint64, op isa.Op)
+
+	// OnCommitBranch observes committed branch outcomes (trace detection).
+	OnCommitBranch func(pc int, taken bool)
+
+	// OnSquash observes pipeline squashes; seqBoundary is the sequence
+	// number of the oldest squashed instruction.
+	OnSquash func(seqBoundary uint64)
+}

@@ -1,0 +1,202 @@
+package program
+
+import (
+	"fmt"
+
+	"dynaspam/internal/isa"
+)
+
+// Builder assembles a Program with label-based branch targets.
+//
+// Typical use:
+//
+//	b := program.NewBuilder("loop")
+//	b.Li(isa.R(1), 0)
+//	b.Label("head")
+//	b.Addi(isa.R(1), isa.R(1), 1)
+//	b.Blt(isa.R(1), isa.R(2), "head")
+//	b.Halt()
+//	p, err := b.Build()
+type Builder struct {
+	name    string
+	insts   []isa.Inst
+	labels  map[string]int
+	fixups  []fixup
+	errOnce error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label binds name to the address of the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.errOnce == nil {
+		b.errOnce = fmt.Errorf("program %s: duplicate label %q", b.name, name)
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emit3(op isa.Op, d, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: op, Dest: d, Src1: s1, Src2: s2})
+}
+
+func (b *Builder) emitImm(op isa.Op, d, s1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: op, Dest: d, Src1: s1, Src2: isa.RegInvalid, Imm: imm})
+}
+
+func (b *Builder) emitBranch(op isa.Op, s1, s2 isa.Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	return b.Emit(isa.Inst{Op: op, Dest: isa.RegInvalid, Src1: s1, Src2: s2})
+}
+
+// Integer arithmetic.
+
+func (b *Builder) Add(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpAdd, d, s1, s2) }
+func (b *Builder) Sub(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpSub, d, s1, s2) }
+func (b *Builder) Mul(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpMul, d, s1, s2) }
+func (b *Builder) Div(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpDiv, d, s1, s2) }
+func (b *Builder) Rem(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpRem, d, s1, s2) }
+func (b *Builder) And(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpAnd, d, s1, s2) }
+func (b *Builder) Or(d, s1, s2 isa.Reg) *Builder  { return b.emit3(isa.OpOr, d, s1, s2) }
+func (b *Builder) Xor(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpXor, d, s1, s2) }
+func (b *Builder) Shl(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpShl, d, s1, s2) }
+func (b *Builder) Shr(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpShr, d, s1, s2) }
+func (b *Builder) Slt(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpSlt, d, s1, s2) }
+func (b *Builder) Min(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpMin, d, s1, s2) }
+func (b *Builder) Max(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpMax, d, s1, s2) }
+
+// Integer immediates and moves.
+
+func (b *Builder) Addi(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpAddi, d, s, imm) }
+func (b *Builder) Muli(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpMuli, d, s, imm) }
+func (b *Builder) Andi(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpAndi, d, s, imm) }
+func (b *Builder) Ori(d, s isa.Reg, imm int64) *Builder  { return b.emitImm(isa.OpOri, d, s, imm) }
+func (b *Builder) Xori(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpXori, d, s, imm) }
+func (b *Builder) Shli(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpShli, d, s, imm) }
+func (b *Builder) Shri(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpShri, d, s, imm) }
+func (b *Builder) Slti(d, s isa.Reg, imm int64) *Builder { return b.emitImm(isa.OpSlti, d, s, imm) }
+
+// Li loads an integer immediate.
+func (b *Builder) Li(d isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpLi, Dest: d, Src1: isa.RegInvalid, Src2: isa.RegInvalid, Imm: imm})
+}
+
+// Mov copies an integer register.
+func (b *Builder) Mov(d, s isa.Reg) *Builder { return b.emitImm(isa.OpMov, d, s, 0) }
+
+// Floating point.
+
+func (b *Builder) FAdd(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFAdd, d, s1, s2) }
+func (b *Builder) FSub(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFSub, d, s1, s2) }
+func (b *Builder) FMul(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFMul, d, s1, s2) }
+func (b *Builder) FDiv(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFDiv, d, s1, s2) }
+func (b *Builder) FMin(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFMin, d, s1, s2) }
+func (b *Builder) FMax(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFMax, d, s1, s2) }
+func (b *Builder) FSlt(d, s1, s2 isa.Reg) *Builder { return b.emit3(isa.OpFSlt, d, s1, s2) }
+func (b *Builder) FAbs(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpFAbs, d, s, 0) }
+func (b *Builder) FNeg(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpFNeg, d, s, 0) }
+func (b *Builder) FSqt(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpFSqt, d, s, 0) }
+func (b *Builder) FExp(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpFExp, d, s, 0) }
+func (b *Builder) FMov(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpFMov, d, s, 0) }
+func (b *Builder) ItoF(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpItoF, d, s, 0) }
+func (b *Builder) FtoI(d, s isa.Reg) *Builder      { return b.emitImm(isa.OpFtoI, d, s, 0) }
+
+// FLi loads a floating-point immediate.
+func (b *Builder) FLi(d isa.Reg, v float64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpFLi, Dest: d, Src1: isa.RegInvalid, Src2: isa.RegInvalid, FImm: v})
+}
+
+// Memory. Effective address is base+off; all accesses are 8-byte.
+
+func (b *Builder) Ld(d, base isa.Reg, off int64) *Builder { return b.emitImm(isa.OpLd, d, base, off) }
+func (b *Builder) FLd(d, base isa.Reg, off int64) *Builder {
+	return b.emitImm(isa.OpFLd, d, base, off)
+}
+
+// St stores integer register v to base+off.
+func (b *Builder) St(base isa.Reg, off int64, v isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpSt, Dest: isa.RegInvalid, Src1: base, Src2: v, Imm: off})
+}
+
+// FSt stores FP register v to base+off.
+func (b *Builder) FSt(base isa.Reg, off int64, v isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpFSt, Dest: isa.RegInvalid, Src1: base, Src2: v, Imm: off})
+}
+
+// Control flow.
+
+func (b *Builder) Beq(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.OpBeq, s1, s2, label)
+}
+func (b *Builder) Bne(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.OpBne, s1, s2, label)
+}
+func (b *Builder) Blt(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.OpBlt, s1, s2, label)
+}
+func (b *Builder) Bge(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.OpBge, s1, s2, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(isa.OpJmp, isa.RegInvalid, isa.RegInvalid, label)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpNop, Dest: isa.RegInvalid, Src1: isa.RegInvalid, Src2: isa.RegInvalid})
+}
+
+// Halt emits the terminating instruction.
+func (b *Builder) Halt() *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpHalt, Dest: isa.RegInvalid, Src1: isa.RegInvalid, Src2: isa.RegInvalid})
+}
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.errOnce != nil {
+		return nil, b.errOnce
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program %s: undefined label %q", b.name, f.label)
+		}
+		insts[f.pc].Target = target
+	}
+	p := &Program{Name: b.name, Insts: insts}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is like Build but panics on error. Intended for the statically
+// known workload kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

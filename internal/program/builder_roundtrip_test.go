@@ -1,0 +1,127 @@
+package program
+
+import (
+	"testing"
+
+	"dynaspam/internal/isa"
+)
+
+// TestEveryBuilderOpcode drives each builder method once and checks the
+// emitted opcode and operands, so the assembler surface is covered end to
+// end.
+func TestEveryBuilderOpcode(t *testing.T) {
+	r1, r2, r3 := isa.R(1), isa.R(2), isa.R(3)
+	f1, f2, f3 := isa.F(1), isa.F(2), isa.F(3)
+
+	type emit struct {
+		name string
+		do   func(b *Builder)
+		op   isa.Op
+	}
+	cases := []emit{
+		{"Add", func(b *Builder) { b.Add(r3, r1, r2) }, isa.OpAdd},
+		{"Sub", func(b *Builder) { b.Sub(r3, r1, r2) }, isa.OpSub},
+		{"Mul", func(b *Builder) { b.Mul(r3, r1, r2) }, isa.OpMul},
+		{"Div", func(b *Builder) { b.Div(r3, r1, r2) }, isa.OpDiv},
+		{"Rem", func(b *Builder) { b.Rem(r3, r1, r2) }, isa.OpRem},
+		{"And", func(b *Builder) { b.And(r3, r1, r2) }, isa.OpAnd},
+		{"Or", func(b *Builder) { b.Or(r3, r1, r2) }, isa.OpOr},
+		{"Xor", func(b *Builder) { b.Xor(r3, r1, r2) }, isa.OpXor},
+		{"Shl", func(b *Builder) { b.Shl(r3, r1, r2) }, isa.OpShl},
+		{"Shr", func(b *Builder) { b.Shr(r3, r1, r2) }, isa.OpShr},
+		{"Slt", func(b *Builder) { b.Slt(r3, r1, r2) }, isa.OpSlt},
+		{"Min", func(b *Builder) { b.Min(r3, r1, r2) }, isa.OpMin},
+		{"Max", func(b *Builder) { b.Max(r3, r1, r2) }, isa.OpMax},
+		{"Addi", func(b *Builder) { b.Addi(r3, r1, 4) }, isa.OpAddi},
+		{"Muli", func(b *Builder) { b.Muli(r3, r1, 4) }, isa.OpMuli},
+		{"Andi", func(b *Builder) { b.Andi(r3, r1, 4) }, isa.OpAndi},
+		{"Ori", func(b *Builder) { b.Ori(r3, r1, 4) }, isa.OpOri},
+		{"Xori", func(b *Builder) { b.Xori(r3, r1, 4) }, isa.OpXori},
+		{"Shli", func(b *Builder) { b.Shli(r3, r1, 4) }, isa.OpShli},
+		{"Shri", func(b *Builder) { b.Shri(r3, r1, 4) }, isa.OpShri},
+		{"Slti", func(b *Builder) { b.Slti(r3, r1, 4) }, isa.OpSlti},
+		{"Li", func(b *Builder) { b.Li(r3, 4) }, isa.OpLi},
+		{"Mov", func(b *Builder) { b.Mov(r3, r1) }, isa.OpMov},
+		{"FAdd", func(b *Builder) { b.FAdd(f3, f1, f2) }, isa.OpFAdd},
+		{"FSub", func(b *Builder) { b.FSub(f3, f1, f2) }, isa.OpFSub},
+		{"FMul", func(b *Builder) { b.FMul(f3, f1, f2) }, isa.OpFMul},
+		{"FDiv", func(b *Builder) { b.FDiv(f3, f1, f2) }, isa.OpFDiv},
+		{"FMin", func(b *Builder) { b.FMin(f3, f1, f2) }, isa.OpFMin},
+		{"FMax", func(b *Builder) { b.FMax(f3, f1, f2) }, isa.OpFMax},
+		{"FSlt", func(b *Builder) { b.FSlt(r3, f1, f2) }, isa.OpFSlt},
+		{"FAbs", func(b *Builder) { b.FAbs(f3, f1) }, isa.OpFAbs},
+		{"FNeg", func(b *Builder) { b.FNeg(f3, f1) }, isa.OpFNeg},
+		{"FSqt", func(b *Builder) { b.FSqt(f3, f1) }, isa.OpFSqt},
+		{"FExp", func(b *Builder) { b.FExp(f3, f1) }, isa.OpFExp},
+		{"FMov", func(b *Builder) { b.FMov(f3, f1) }, isa.OpFMov},
+		{"ItoF", func(b *Builder) { b.ItoF(f3, r1) }, isa.OpItoF},
+		{"FtoI", func(b *Builder) { b.FtoI(r3, f1) }, isa.OpFtoI},
+		{"FLi", func(b *Builder) { b.FLi(f3, 1.5) }, isa.OpFLi},
+		{"Ld", func(b *Builder) { b.Ld(r3, r1, 8) }, isa.OpLd},
+		{"FLd", func(b *Builder) { b.FLd(f3, r1, 8) }, isa.OpFLd},
+		{"St", func(b *Builder) { b.St(r1, 8, r2) }, isa.OpSt},
+		{"FSt", func(b *Builder) { b.FSt(r1, 8, f2) }, isa.OpFSt},
+		{"Nop", func(b *Builder) { b.Nop() }, isa.OpNop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder("rt")
+			tc.do(b)
+			b.Halt()
+			p, err := b.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if got := p.At(0).Op; got != tc.op {
+				t.Errorf("emitted %v, want %v", got, tc.op)
+			}
+		})
+	}
+}
+
+func TestBranchBuildersResolve(t *testing.T) {
+	r1, r2 := isa.R(1), isa.R(2)
+	type branchCase struct {
+		name string
+		do   func(b *Builder)
+		op   isa.Op
+	}
+	cases := []branchCase{
+		{"Beq", func(b *Builder) { b.Beq(r1, r2, "l") }, isa.OpBeq},
+		{"Bne", func(b *Builder) { b.Bne(r1, r2, "l") }, isa.OpBne},
+		{"Blt", func(b *Builder) { b.Blt(r1, r2, "l") }, isa.OpBlt},
+		{"Bge", func(b *Builder) { b.Bge(r1, r2, "l") }, isa.OpBge},
+		{"Jmp", func(b *Builder) { b.Jmp("l") }, isa.OpJmp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder("br")
+			tc.do(b)
+			b.Label("l")
+			b.Halt()
+			p, err := b.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			in := p.At(0)
+			if in.Op != tc.op {
+				t.Errorf("op = %v, want %v", in.Op, tc.op)
+			}
+			if in.Target != 1 {
+				t.Errorf("target = %d, want 1", in.Target)
+			}
+		})
+	}
+}
+
+func TestBuilderLen(t *testing.T) {
+	b := NewBuilder("len")
+	if b.Len() != 0 {
+		t.Errorf("empty Len = %d", b.Len())
+	}
+	b.Nop()
+	b.Nop()
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{4}); g != 4 {
+		t.Errorf("Geomean([4]) = %v", g)
+	}
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("Geomean([1,4]) = %v, want 2", g)
+	}
+	if g := Geomean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("Geomean([2,2,2]) = %v", g)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean accepted 0")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max.
+func TestGeomeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(_,0) != 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	// Overflowing cells are dropped.
+	tb2 := NewTable("A")
+	tb2.AddRow("x", "y", "z")
+	if strings.Contains(tb2.String(), "y") {
+		t.Error("overflow cell retained")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.239); got != "23.9%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

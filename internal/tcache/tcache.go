@@ -1,0 +1,221 @@
+// Package tcache implements DynaSpAM's trace detection unit (§3.1): a trace
+// cache-like structure that recognizes recurring instruction sequences across
+// multiple basic blocks.
+//
+// A trace is identified by a TraceKey: the PC of its anchor branch and the
+// directions of the three consecutive dynamic branches that begin there. On
+// every committed branch the T-Cache shifts the outcome into a small history
+// buffer, forms the key of the trace that just completed, and bumps its
+// saturating counter; once the counter crosses the hot threshold the entry's
+// hot flag is set and the fetch stage may start a mapping session for it.
+// Counters are periodically decayed so infrequent traces do not pin the
+// fabric.
+package tcache
+
+import "fmt"
+
+// HistoryLen is the number of branch outcomes in a trace key (footnote 1 of
+// the paper: three).
+const HistoryLen = 3
+
+// TraceKey uniquely identifies a trace: anchor branch PC plus the directions
+// of the HistoryLen branches starting at the anchor, packed LSB-first
+// (Dirs&1 is the anchor branch's own direction).
+type TraceKey struct {
+	AnchorPC int
+	Dirs     uint8
+}
+
+// String implements fmt.Stringer.
+func (k TraceKey) String() string {
+	return fmt.Sprintf("pc%d/%03b", k.AnchorPC, k.Dirs)
+}
+
+// DirsOf packs a slice of branch directions into the Dirs field.
+func DirsOf(taken []bool) uint8 {
+	var d uint8
+	for i, t := range taken {
+		if i >= HistoryLen {
+			break
+		}
+		if t {
+			d |= 1 << uint(i)
+		}
+	}
+	return d
+}
+
+// Dir returns direction i of the key (0 = anchor branch).
+func (k TraceKey) Dir(i int) bool { return k.Dirs>>uint(i)&1 == 1 }
+
+// Config sets the T-Cache geometry.
+type Config struct {
+	// Entries bounds the number of tracked trace keys.
+	Entries int
+	// HotThreshold is the counter value at which an entry is flagged hot.
+	HotThreshold uint32
+	// CounterMax saturates the counters.
+	CounterMax uint32
+	// DecayInterval halves all counters every N observed branches
+	// (periodic clearing per §3.1); 0 disables decay.
+	DecayInterval int
+}
+
+// DefaultConfig returns the evaluation setting: 256 entries, hot at 8
+// sightings, 6-bit counters, decay every 64K branches.
+func DefaultConfig() Config {
+	return Config{Entries: 256, HotThreshold: 8, CounterMax: 63, DecayInterval: 1 << 16}
+}
+
+type entry struct {
+	key     TraceKey
+	counter uint32
+	hot     bool
+	lruTick uint64
+}
+
+// TCache is the trace detection unit.
+type TCache struct {
+	cfg      Config
+	entries  map[TraceKey]*entry
+	tick     uint64
+	branches int
+
+	// Sliding window of the last HistoryLen+1 committed branches.
+	window []committedBranch
+
+	stats Stats
+}
+
+type committedBranch struct {
+	pc    int
+	taken bool
+}
+
+// Stats counts detection activity.
+type Stats struct {
+	BranchesSeen uint64
+	HotDetected  uint64
+	Decays       uint64
+	Evictions    uint64
+}
+
+// New returns an empty T-Cache.
+func New(cfg Config) *TCache {
+	if cfg.Entries <= 0 || cfg.HotThreshold == 0 || cfg.CounterMax < cfg.HotThreshold {
+		panic(fmt.Sprintf("tcache: bad config %+v", cfg))
+	}
+	return &TCache{cfg: cfg, entries: make(map[TraceKey]*entry)}
+}
+
+// OnBranchCommit feeds one committed branch outcome. When the outcome
+// completes a three-branch window it bumps the counter of the trace anchored
+// at the window's oldest branch. It returns the key that became hot this
+// call, if any.
+func (t *TCache) OnBranchCommit(pc int, taken bool) (hot TraceKey, becameHot bool) {
+	t.stats.BranchesSeen++
+	t.window = append(t.window, committedBranch{pc: pc, taken: taken})
+	if len(t.window) > HistoryLen {
+		t.window = t.window[len(t.window)-HistoryLen:]
+	}
+	if len(t.window) < HistoryLen {
+		return TraceKey{}, false
+	}
+	dirs := make([]bool, HistoryLen)
+	for i, b := range t.window {
+		dirs[i] = b.taken
+	}
+	key := TraceKey{AnchorPC: t.window[0].pc, Dirs: DirsOf(dirs)}
+	e := t.lookup(key, true)
+	if e.counter < t.cfg.CounterMax {
+		e.counter++
+	}
+	wasHot := e.hot
+	if e.counter >= t.cfg.HotThreshold {
+		e.hot = true
+	}
+	t.maybeDecay()
+	if e.hot && !wasHot {
+		t.stats.HotDetected++
+		return key, true
+	}
+	return TraceKey{}, false
+}
+
+// IsHot reports whether the trace identified by key is currently flagged hot.
+func (t *TCache) IsHot(key TraceKey) bool {
+	e := t.entries[key]
+	return e != nil && e.hot
+}
+
+// Counter returns the current saturation counter of key (0 if untracked).
+func (t *TCache) Counter(key TraceKey) uint32 {
+	if e := t.entries[key]; e != nil {
+		return e.counter
+	}
+	return 0
+}
+
+// Unhot clears the hot flag of key (e.g. after the mapper found the trace
+// unmappable), preventing repeated mapping attempts until it re-trains.
+func (t *TCache) Unhot(key TraceKey) {
+	if e := t.entries[key]; e != nil {
+		e.hot = false
+		e.counter = 0
+	}
+}
+
+// ResetWindow clears the committed-branch window (pipeline squash between
+// non-contiguous regions).
+func (t *TCache) ResetWindow() { t.window = t.window[:0] }
+
+// Stats returns a copy of the counters.
+func (t *TCache) Stats() Stats { return t.stats }
+
+// Len returns the number of tracked entries.
+func (t *TCache) Len() int { return len(t.entries) }
+
+func (t *TCache) lookup(key TraceKey, create bool) *entry {
+	t.tick++
+	if e := t.entries[key]; e != nil {
+		e.lruTick = t.tick
+		return e
+	}
+	if !create {
+		return nil
+	}
+	if len(t.entries) >= t.cfg.Entries {
+		// Evict the LRU entry.
+		var victim *entry
+		for _, e := range t.entries {
+			if victim == nil || e.lruTick < victim.lruTick {
+				victim = e
+			}
+		}
+		delete(t.entries, victim.key)
+		t.stats.Evictions++
+	}
+	e := &entry{key: key, lruTick: t.tick}
+	t.entries[key] = e
+	return e
+}
+
+// maybeDecay halves counters (and clears stale hot flags) every
+// DecayInterval branches.
+func (t *TCache) maybeDecay() {
+	if t.cfg.DecayInterval <= 0 {
+		return
+	}
+	t.branches++
+	if t.branches < t.cfg.DecayInterval {
+		return
+	}
+	t.branches = 0
+	t.stats.Decays++
+	for _, e := range t.entries {
+		e.counter /= 2
+		if e.counter < t.cfg.HotThreshold {
+			e.hot = false
+		}
+	}
+}

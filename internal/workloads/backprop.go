@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"math"
+
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// BackProp mirrors Rodinia's bpnn_train_kernel: the forward pass of a
+// layered neural network (hidden[j] = squash(Σ_i in[i]·w[i][j]) with a
+// logistic squash), followed by a weight-adjustment sweep
+// (w[i][j] += η·δ[j]·in[i]).
+//
+// Memory layout (8-byte words):
+//
+//	in:     bpIn    float64[bpN]
+//	w:      bpW     float64[bpN][bpM] (row major)
+//	delta:  bpDelta float64[bpM]
+//	hidden: bpHid   float64[bpM]
+const (
+	bpN = 96 // input units
+	bpM = 16 // hidden units
+
+	bpIn    = 0
+	bpW     = bpIn + bpN*8
+	bpDelta = bpW + bpN*bpM*8
+	bpHid   = bpDelta + bpM*8
+	bpEta   = 0.3
+	// bpEpochs repeats the forward/adjust pair, as the Rodinia driver
+	// does across training iterations.
+	bpEpochs = 3
+)
+
+// BackProp builds the BP workload.
+func BackProp() *Workload {
+	return &Workload{
+		Name:     "Back Propagation",
+		Abbrev:   "BP",
+		Domain:   "Pattern Recognition",
+		Prog:     backpropProg(),
+		Init:     backpropInit,
+		Golden:   backpropGolden,
+		MaxInsts: 2_000_000,
+	}
+}
+
+func backpropInit(m *mem.Memory) {
+	r := newLCG(101)
+	for i := 0; i < bpN; i++ {
+		m.WriteFloat(uint64(bpIn+i*8), r.float01())
+	}
+	for i := 0; i < bpN*bpM; i++ {
+		m.WriteFloat(uint64(bpW+i*8), r.float01()-0.5)
+	}
+	for j := 0; j < bpM; j++ {
+		m.WriteFloat(uint64(bpDelta+j*8), r.float01()-0.5)
+	}
+}
+
+func backpropGolden(m *mem.Memory) {
+	for e := 0; e < bpEpochs; e++ {
+		backpropEpoch(m)
+	}
+}
+
+func backpropEpoch(m *mem.Memory) {
+	// Forward pass.
+	for j := 0; j < bpM; j++ {
+		sum := 0.0
+		for i := 0; i < bpN; i++ {
+			in := m.ReadFloat(uint64(bpIn + i*8))
+			w := m.ReadFloat(uint64(bpW + (i*bpM+j)*8))
+			sum = sum + in*w
+		}
+		h := 1.0 / (1.0 + math.Exp(-sum))
+		m.WriteFloat(uint64(bpHid+j*8), h)
+	}
+	// Weight adjustment.
+	for j := 0; j < bpM; j++ {
+		d := m.ReadFloat(uint64(bpDelta + j*8))
+		for i := 0; i < bpN; i++ {
+			in := m.ReadFloat(uint64(bpIn + i*8))
+			addr := uint64(bpW + (i*bpM+j)*8)
+			m.WriteFloat(addr, m.ReadFloat(addr)+bpEta*d*in)
+		}
+	}
+}
+
+func backpropProg() *program.Program {
+	b := program.NewBuilder("backprop")
+	// Integer registers.
+	rJ := isa.R(1)    // j
+	rI := isa.R(2)    // i
+	rN := isa.R(3)    // bpN
+	rM := isa.R(4)    // bpM
+	rInP := isa.R(5)  // &in[i]
+	rWP := isa.R(6)   // &w[i][j]
+	rT := isa.R(7)    // temp
+	rRowB := isa.R(8) // bpM*8 (row stride)
+	// FP registers.
+	fSum := isa.F(1)
+	fIn := isa.F(2)
+	fW := isa.F(3)
+	fOne := isa.F(4)
+	fD := isa.F(5)
+	fEta := isa.F(6)
+	fT := isa.F(7)
+
+	rEp := isa.R(9)
+	rNEp := isa.R(10)
+	b.Li(rN, bpN)
+	b.Li(rM, bpM)
+	b.Li(rRowB, bpM*8)
+	b.FLi(fOne, 1.0)
+	b.FLi(fEta, bpEta)
+	b.Li(rEp, 0)
+	b.Li(rNEp, bpEpochs)
+	b.Label("epoch")
+
+	// Forward pass: for j in [0,M): sum over i.
+	b.Li(rJ, 0)
+	b.Label("fwd_j")
+	b.FLi(fSum, 0.0)
+	b.Li(rI, 0)
+	b.Li(rInP, bpIn)
+	b.Shli(rT, rJ, 3)
+	b.Addi(rWP, rT, bpW) // &w[0][j]
+	b.Label("fwd_i")
+	b.FLd(fIn, rInP, 0)
+	b.FLd(fW, rWP, 0)
+	b.FMul(fT, fIn, fW)
+	b.FAdd(fSum, fSum, fT)
+	b.Addi(rInP, rInP, 8)
+	b.Add(rWP, rWP, rRowB)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "fwd_i")
+	// h = 1/(1+exp(-sum))
+	b.FNeg(fT, fSum)
+	b.FExp(fT, fT)
+	b.FAdd(fT, fT, fOne)
+	b.FDiv(fT, fOne, fT)
+	b.Shli(rT, rJ, 3)
+	b.Addi(rT, rT, bpHid)
+	b.FSt(rT, 0, fT)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rM, "fwd_j")
+
+	// Weight adjustment: for j, for i: w[i][j] += eta*d[j]*in[i].
+	b.Li(rJ, 0)
+	b.Label("adj_j")
+	b.Shli(rT, rJ, 3)
+	b.Addi(rT, rT, bpDelta)
+	b.FLd(fD, rT, 0)
+	b.FMul(fD, fEta, fD) // eta*d[j]
+	b.Li(rI, 0)
+	b.Li(rInP, bpIn)
+	b.Shli(rT, rJ, 3)
+	b.Addi(rWP, rT, bpW)
+	b.Label("adj_i")
+	b.FLd(fIn, rInP, 0)
+	b.FMul(fT, fD, fIn)
+	b.FLd(fW, rWP, 0)
+	b.FAdd(fW, fW, fT)
+	b.FSt(rWP, 0, fW)
+	b.Addi(rInP, rInP, 8)
+	b.Add(rWP, rWP, rRowB)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "adj_i")
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rM, "adj_j")
+
+	b.Addi(rEp, rEp, 1)
+	b.Blt(rEp, rNEp, "epoch")
+	b.Halt()
+	return b.MustBuild()
+}

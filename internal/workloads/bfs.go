@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// BFS mirrors Rodinia's BFSGraph: level-synchronous breadth-first search.
+// Each sweep scans all nodes; nodes whose level equals the current depth
+// relax their out-edges, setting unvisited neighbours to depth+1. The inner
+// branches are data dependent and unbiased, which is exactly why the paper's
+// BFS has the shortest configuration lifetimes (Table 5).
+//
+// Memory layout:
+//
+//	start:  bfsStart int64[bfsNodes]   // CSR edge offsets
+//	count:  bfsCount int64[bfsNodes]   // out degree
+//	edges:  bfsEdges int64[bfsEdgesMax]
+//	cost:   bfsCost  int64[bfsNodes]   // -1 = unvisited
+//	flag:   bfsFlag  int64             // set when any node updated
+const (
+	bfsNodes    = 384
+	bfsDegree   = 4
+	bfsEdgesMax = bfsNodes * bfsDegree
+
+	bfsStart = 0
+	bfsCount = bfsStart + bfsNodes*8
+	bfsEdges = bfsCount + bfsNodes*8
+	bfsCost  = bfsEdges + bfsEdgesMax*8
+	bfsFlag  = bfsCost + bfsNodes*8
+)
+
+// BFS builds the breadth-first search workload.
+func BFS() *Workload {
+	return &Workload{
+		Name:     "Breadth-First Search",
+		Abbrev:   "BFS",
+		Domain:   "Graph Algorithms",
+		Prog:     bfsProg(),
+		Init:     bfsInit,
+		Golden:   bfsGolden,
+		MaxInsts: 3_000_000,
+	}
+}
+
+func bfsInit(m *mem.Memory) {
+	r := newLCG(202)
+	off := int64(0)
+	for v := 0; v < bfsNodes; v++ {
+		deg := 1 + r.intn(bfsDegree)
+		m.WriteInt(uint64(bfsStart+v*8), off)
+		m.WriteInt(uint64(bfsCount+v*8), deg)
+		for e := int64(0); e < deg; e++ {
+			m.WriteInt(uint64(bfsEdges)+uint64(off+e)*8, r.intn(bfsNodes))
+		}
+		off += deg
+	}
+	for v := 0; v < bfsNodes; v++ {
+		m.WriteInt(uint64(bfsCost+v*8), -1)
+	}
+	m.WriteInt(uint64(bfsCost), 0) // source node 0
+}
+
+func bfsGolden(m *mem.Memory) {
+	depth := int64(0)
+	for {
+		changed := int64(0)
+		for v := 0; v < bfsNodes; v++ {
+			if m.ReadInt(uint64(bfsCost+v*8)) != depth {
+				continue
+			}
+			start := m.ReadInt(uint64(bfsStart + v*8))
+			deg := m.ReadInt(uint64(bfsCount + v*8))
+			for e := int64(0); e < deg; e++ {
+				n := m.ReadInt(uint64(bfsEdges) + uint64(start+e)*8)
+				if m.ReadInt(uint64(bfsCost)+uint64(n)*8) == -1 {
+					m.WriteInt(uint64(bfsCost)+uint64(n)*8, depth+1)
+					changed = 1
+				}
+			}
+		}
+		m.WriteInt(uint64(bfsFlag), changed)
+		if changed == 0 {
+			return
+		}
+		depth++
+	}
+}
+
+func bfsProg() *program.Program {
+	b := program.NewBuilder("bfs")
+	rDepth := isa.R(1)
+	rV := isa.R(2)
+	rNodes := isa.R(3)
+	rChanged := isa.R(4)
+	rT := isa.R(5)
+	rCost := isa.R(6)  // cost of v
+	rStart := isa.R(7) // edge offset
+	rDeg := isa.R(8)   // out degree
+	rE := isa.R(9)     // edge index
+	rNbr := isa.R(10)  // neighbour id
+	rNA := isa.R(11)   // neighbour cost address
+	rNC := isa.R(12)   // neighbour cost
+	rMinus1 := isa.R(13)
+	rD1 := isa.R(14) // depth+1
+
+	b.Li(rDepth, 0)
+	b.Li(rNodes, bfsNodes)
+	b.Li(rMinus1, -1)
+
+	b.Label("sweep")
+	b.Li(rChanged, 0)
+	b.Li(rV, 0)
+	b.Label("node")
+	b.Shli(rT, rV, 3)
+	b.Ld(rCost, rT, bfsCost)
+	b.Bne(rCost, rDepth, "next_node")
+	b.Ld(rStart, rT, bfsStart)
+	b.Ld(rDeg, rT, bfsCount)
+	// Bottom-tested edge loop (every node has degree >= 1).
+	b.Li(rE, 0)
+	b.Label("edge")
+	b.Add(rT, rStart, rE)
+	b.Shli(rT, rT, 3)
+	b.Ld(rNbr, rT, bfsEdges)
+	b.Shli(rNA, rNbr, 3)
+	b.Ld(rNC, rNA, bfsCost)
+	b.Bne(rNC, rMinus1, "next_edge")
+	b.Addi(rD1, rDepth, 1)
+	b.St(rNA, bfsCost, rD1)
+	b.Li(rChanged, 1)
+	b.Label("next_edge")
+	b.Addi(rE, rE, 1)
+	b.Blt(rE, rDeg, "edge")
+	b.Label("next_node")
+	b.Addi(rV, rV, 1)
+	b.Blt(rV, rNodes, "node")
+
+	b.St(isa.R(0), bfsFlag, rChanged)
+	b.Addi(rDepth, rDepth, 1)
+	b.Bne(rChanged, isa.R(0), "sweep")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// BTree mirrors Rodinia's b+tree kernel_cpu: a batch of key searches, each
+// descending a fixed-fanout B+ tree by linearly scanning the separator keys
+// at every level. Node layout: fanout-1 separator keys followed by fanout
+// child indices; leaves hold values.
+//
+// Memory layout:
+//
+//	nodes:   btNodes  int64[btNumNodes][2*btFan-1]
+//	queries: btQuery  int64[btQueries]
+//	out:     btOut    int64[btQueries]
+const (
+	btFan      = 4           // children per internal node
+	btLevels   = 4           // tree height (root = level 0)
+	btKeySpace = 4096        // key universe
+	btQueries  = 300         // searches in the batch
+	btNodeSize = 2*btFan - 1 // keys + children slots per node
+	btNumNodes = 1 + btFan + btFan*btFan + btFan*btFan*btFan
+
+	btNodes = 0
+	btQuery = btNodes + btNumNodes*btNodeSize*8
+	btOut   = btQuery + btQueries*8
+)
+
+// BTree builds the B+ tree search workload.
+func BTree() *Workload {
+	return &Workload{
+		Name:     "B+ Tree",
+		Abbrev:   "BT",
+		Domain:   "Search",
+		Prog:     btreeProg(),
+		Init:     btreeInit,
+		Golden:   btreeGolden,
+		MaxInsts: 3_000_000,
+	}
+}
+
+// btNodeAddr returns the byte address of node n's slot s.
+func btNodeAddr(n, s int64) uint64 {
+	return uint64(btNodes + (n*btNodeSize+s)*8)
+}
+
+func btreeInit(m *mem.Memory) {
+	// Build a complete tree breadth-first: node i's children are
+	// btFan*i+1 .. btFan*i+btFan. Each node at depth d spans an equal
+	// share of the key space; separators split it evenly.
+	var build func(node int64, depth int, lo, hi int64)
+	build = func(node int64, depth int, lo, hi int64) {
+		span := (hi - lo) / btFan
+		for k := int64(0); k < btFan-1; k++ {
+			m.WriteInt(btNodeAddr(node, k), lo+span*(k+1))
+		}
+		if depth == btLevels-1 {
+			// Leaf: the "children" slots hold values derived from
+			// the range.
+			for c := int64(0); c < btFan; c++ {
+				m.WriteInt(btNodeAddr(node, btFan-1+c), lo+span*c+7)
+			}
+			return
+		}
+		for c := int64(0); c < btFan; c++ {
+			child := btFan*node + 1 + c
+			m.WriteInt(btNodeAddr(node, btFan-1+c), child)
+			build(child, depth+1, lo+span*c, lo+span*(c+1))
+		}
+	}
+	build(0, 0, 0, btKeySpace)
+
+	r := newLCG(303)
+	for q := 0; q < btQueries; q++ {
+		m.WriteInt(uint64(btQuery+q*8), r.intn(btKeySpace))
+	}
+}
+
+func btreeGolden(m *mem.Memory) {
+	for q := 0; q < btQueries; q++ {
+		key := m.ReadInt(uint64(btQuery + q*8))
+		node := int64(0)
+		for depth := 0; depth < btLevels-1; depth++ {
+			c := int64(0)
+			for c < btFan-1 && key >= m.ReadInt(btNodeAddr(node, c)) {
+				c++
+			}
+			node = m.ReadInt(btNodeAddr(node, btFan-1+c))
+		}
+		// Leaf: same scan selects the value slot.
+		c := int64(0)
+		for c < btFan-1 && key >= m.ReadInt(btNodeAddr(node, c)) {
+			c++
+		}
+		m.WriteInt(uint64(btOut+q*8), m.ReadInt(btNodeAddr(node, btFan-1+c)))
+	}
+}
+
+func btreeProg() *program.Program {
+	b := program.NewBuilder("btree")
+	rQ := isa.R(1)     // query index
+	rNQ := isa.R(2)    // query count
+	rKey := isa.R(3)   // search key
+	rNode := isa.R(4)  // current node id
+	rDepth := isa.R(5) // level
+	rLev := isa.R(6)   // btLevels-1
+	rC := isa.R(7)     // child scan index
+	rCMax := isa.R(8)  // btFan-1
+	rBase := isa.R(9)  // node byte base
+	rT := isa.R(10)
+	rSep := isa.R(11) // separator key
+	rVal := isa.R(12)
+
+	b.Li(rQ, 0)
+	b.Li(rNQ, btQueries)
+	b.Li(rLev, btLevels) // btLevels-1 internal picks + 1 leaf pick
+	b.Li(rCMax, btFan-1)
+
+	b.Label("query")
+	b.Shli(rT, rQ, 3)
+	b.Ld(rKey, rT, btQuery)
+	b.Li(rNode, 0)
+	b.Li(rDepth, 0)
+
+	b.Label("descend")
+	b.Muli(rBase, rNode, btNodeSize*8)
+	b.Li(rC, 0)
+	b.Label("scan")
+	b.Bge(rC, rCMax, "pick")
+	b.Shli(rT, rC, 3)
+	b.Add(rT, rT, rBase)
+	b.Ld(rSep, rT, btNodes)
+	b.Blt(rKey, rSep, "pick")
+	b.Addi(rC, rC, 1)
+	b.Jmp("scan")
+	b.Label("pick")
+	b.Addi(rT, rC, btFan-1)
+	b.Shli(rT, rT, 3)
+	b.Add(rT, rT, rBase)
+	b.Ld(rVal, rT, btNodes) // child id (internal) or value (leaf)
+	b.Addi(rDepth, rDepth, 1)
+	b.Bge(rDepth, rLev, "store") // the btLevels-th pick selected the value
+	b.Mov(rNode, rVal)
+	b.Jmp("descend")
+
+	b.Label("store")
+	b.Shli(rT, rQ, 3)
+	b.St(rT, btOut, rVal)
+	b.Addi(rQ, rQ, 1)
+	b.Blt(rQ, rNQ, "query")
+	b.Halt()
+	return b.MustBuild()
+}

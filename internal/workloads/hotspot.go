@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// Hotspot mirrors Rodinia's compute_tran_temp: transient thermal simulation
+// on a 2D grid. Each step computes, for every interior cell,
+//
+//	t'[r][c] = t + cap·(power + cx·(west+east−2t) + cy·(north+south−2t))
+//
+// and then the grids swap. Border cells stay fixed.
+//
+// Memory layout:
+//
+//	tempA: hsTempA float64[hsDim][hsDim]
+//	tempB: hsTempB float64[hsDim][hsDim]
+//	power: hsPower float64[hsDim][hsDim]
+const (
+	hsDim   = 32
+	hsSteps = 3
+
+	hsTempA = 0
+	hsTempB = hsTempA + hsDim*hsDim*8
+	hsPower = hsTempB + hsDim*hsDim*8
+
+	hsCap = 0.5
+	hsCx  = 0.1
+	hsCy  = 0.1
+)
+
+// Hotspot builds the HS workload.
+func Hotspot() *Workload {
+	return &Workload{
+		Name:     "Hotspot",
+		Abbrev:   "HS",
+		Domain:   "Physics Simulation",
+		Prog:     hotspotProg(),
+		Init:     hotspotInit,
+		Golden:   hotspotGolden,
+		MaxInsts: 4_000_000,
+	}
+}
+
+func hotspotInit(m *mem.Memory) {
+	r := newLCG(404)
+	for i := 0; i < hsDim*hsDim; i++ {
+		m.WriteFloat(uint64(hsTempA+i*8), 300+10*r.float01())
+		m.WriteFloat(uint64(hsPower+i*8), r.float01())
+	}
+}
+
+func hotspotGolden(m *mem.Memory) {
+	src, dst := int64(hsTempA), int64(hsTempB)
+	at := func(base int64, r, c int) uint64 { return uint64(base + int64(r*hsDim+c)*8) }
+	for s := 0; s < hsSteps; s++ {
+		// Copy borders.
+		for r := 0; r < hsDim; r++ {
+			for c := 0; c < hsDim; c++ {
+				if r == 0 || c == 0 || r == hsDim-1 || c == hsDim-1 {
+					m.WriteFloat(at(dst, r, c), m.ReadFloat(at(src, r, c)))
+				}
+			}
+		}
+		for r := 1; r < hsDim-1; r++ {
+			for c := 1; c < hsDim-1; c++ {
+				t := m.ReadFloat(at(src, r, c))
+				p := m.ReadFloat(at(int64(hsPower), r, c))
+				hx := m.ReadFloat(at(src, r, c-1)) + m.ReadFloat(at(src, r, c+1)) - 2*t
+				hy := m.ReadFloat(at(src, r-1, c)) + m.ReadFloat(at(src, r+1, c)) - 2*t
+				m.WriteFloat(at(dst, r, c), t+hsCap*(p+hsCx*hx+hsCy*hy))
+			}
+		}
+		src, dst = dst, src
+	}
+}
+
+func hotspotProg() *program.Program {
+	b := program.NewBuilder("hotspot")
+	rS := isa.R(1)    // step
+	rR := isa.R(2)    // row
+	rC := isa.R(3)    // col
+	rDim := isa.R(4)  // hsDim
+	rDm1 := isa.R(5)  // hsDim-1
+	rSrc := isa.R(6)  // src base
+	rDst := isa.R(7)  // dst base
+	rT := isa.R(8)    // scratch address
+	rOff := isa.R(9)  // element byte offset
+	rNS := isa.R(10)  // steps
+	rRow := isa.R(11) // row byte offset
+
+	fT := isa.F(1)
+	fP := isa.F(2)
+	fW := isa.F(3)
+	fE := isa.F(4)
+	fN := isa.F(5)
+	fS := isa.F(6)
+	fHx := isa.F(7)
+	fHy := isa.F(8)
+	fTwo := isa.F(9)
+	fCap := isa.F(10)
+	fCx := isa.F(11)
+	fCy := isa.F(12)
+	fAcc := isa.F(13)
+	fTmp := isa.F(14)
+
+	b.Li(rNS, hsSteps)
+	b.Li(rDim, hsDim)
+	b.Li(rDm1, hsDim-1)
+	b.FLi(fTwo, 2.0)
+	b.FLi(fCap, hsCap)
+	b.FLi(fCx, hsCx)
+	b.FLi(fCy, hsCy)
+	b.Li(rSrc, hsTempA)
+	b.Li(rDst, hsTempB)
+	b.Li(rS, 0)
+
+	b.Label("step")
+	// Border copy as four peeled edge loops with branchless bodies (the
+	// shape -O3 gives the boundary handling).
+	// Top row and bottom row.
+	b.Li(rC, 0)
+	b.Label("btop")
+	b.Shli(rOff, rC, 3)
+	b.Add(rT, rSrc, rOff)
+	b.FLd(fT, rT, 0)
+	b.Add(rT, rDst, rOff)
+	b.FSt(rT, 0, fT)
+	b.Addi(rOff, rOff, (hsDim-1)*hsDim*8)
+	b.Add(rT, rSrc, rOff)
+	b.FLd(fT, rT, 0)
+	b.Add(rT, rDst, rOff)
+	b.FSt(rT, 0, fT)
+	b.Addi(rC, rC, 1)
+	b.Blt(rC, rDim, "btop")
+	// Left and right columns (interior rows).
+	b.Li(rR, 1)
+	b.Label("bside")
+	b.Muli(rOff, rR, hsDim*8)
+	b.Add(rT, rSrc, rOff)
+	b.FLd(fT, rT, 0)
+	b.Add(rT, rDst, rOff)
+	b.FSt(rT, 0, fT)
+	b.Addi(rOff, rOff, (hsDim-1)*8)
+	b.Add(rT, rSrc, rOff)
+	b.FLd(fT, rT, 0)
+	b.Add(rT, rDst, rOff)
+	b.FSt(rT, 0, fT)
+	b.Addi(rR, rR, 1)
+	b.Blt(rR, rDm1, "bside")
+
+	// Interior stencil.
+	b.Li(rR, 1)
+	b.Label("irow")
+	b.Li(rC, 1)
+	b.Label("icol")
+	b.Mul(rRow, rR, rDim)
+	b.Add(rOff, rRow, rC)
+	b.Shli(rOff, rOff, 3)
+	b.Add(rT, rSrc, rOff)
+	b.FLd(fT, rT, 0)          // t
+	b.FLd(fW, rT, -8)         // west
+	b.FLd(fE, rT, 8)          // east
+	b.FLd(fN, rT, -hsDim*8)   // north
+	b.FLd(fS, rT, hsDim*8)    // south
+	b.Add(rT, rOff, isa.R(0)) // rT = offset
+	b.Addi(rT, rT, hsPower)
+	b.FLd(fP, rT, 0)
+	// hx = w+e-2t ; hy = n+s-2t
+	b.FAdd(fHx, fW, fE)
+	b.FMul(fTmp, fTwo, fT)
+	b.FSub(fHx, fHx, fTmp)
+	b.FAdd(fHy, fN, fS)
+	b.FSub(fHy, fHy, fTmp)
+	// acc = t + cap*(p + cx*hx + cy*hy)
+	b.FMul(fHx, fCx, fHx)
+	b.FMul(fHy, fCy, fHy)
+	b.FAdd(fAcc, fP, fHx)
+	b.FAdd(fAcc, fAcc, fHy)
+	b.FMul(fAcc, fCap, fAcc)
+	b.FAdd(fAcc, fT, fAcc)
+	b.Add(rT, rDst, rOff)
+	b.FSt(rT, 0, fAcc)
+	b.Addi(rC, rC, 1)
+	b.Blt(rC, rDm1, "icol")
+	b.Addi(rR, rR, 1)
+	b.Blt(rR, rDm1, "irow")
+
+	// Swap src/dst.
+	b.Mov(rT, rSrc)
+	b.Mov(rSrc, rDst)
+	b.Mov(rDst, rT)
+	b.Addi(rS, rS, 1)
+	b.Blt(rS, rNS, "step")
+	b.Halt()
+	return b.MustBuild()
+}

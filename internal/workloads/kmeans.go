@@ -1,0 +1,245 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// Kmeans mirrors Rodinia's kmeans_clustering: assign each point to its
+// nearest centroid by squared Euclidean distance, accumulate per-cluster
+// sums, and recompute centroids; repeat for a fixed number of rounds.
+//
+// Memory layout:
+//
+//	points:    kmPts    float64[kmN][kmD]
+//	centroids: kmCent   float64[kmK][kmD]
+//	member:    kmMember int64[kmN]
+//	sums:      kmSums   float64[kmK][kmD]
+//	counts:    kmCounts int64[kmK]
+const (
+	kmN      = 96
+	kmD      = 34
+	kmK      = 5
+	kmRounds = 2
+
+	kmPts    = 0
+	kmCent   = kmPts + kmN*kmD*8
+	kmMember = kmCent + kmK*kmD*8
+	kmSums   = kmMember + kmN*8
+	kmCounts = kmSums + kmK*kmD*8
+)
+
+// Kmeans builds the KM workload.
+func Kmeans() *Workload {
+	return &Workload{
+		Name:     "Kmeans",
+		Abbrev:   "KM",
+		Domain:   "Data Mining",
+		Prog:     kmeansProg(),
+		Init:     kmeansInit,
+		Golden:   kmeansGolden,
+		MaxInsts: 4_000_000,
+	}
+}
+
+func kmeansInit(m *mem.Memory) {
+	r := newLCG(505)
+	for i := 0; i < kmN*kmD; i++ {
+		m.WriteFloat(uint64(kmPts+i*8), 10*r.float01())
+	}
+	for i := 0; i < kmK*kmD; i++ {
+		m.WriteFloat(uint64(kmCent+i*8), 10*r.float01())
+	}
+}
+
+func kmeansGolden(m *mem.Memory) {
+	for round := 0; round < kmRounds; round++ {
+		// Clear accumulators.
+		for i := 0; i < kmK*kmD; i++ {
+			m.WriteFloat(uint64(kmSums+i*8), 0)
+		}
+		for k := 0; k < kmK; k++ {
+			m.WriteInt(uint64(kmCounts+k*8), 0)
+		}
+		// Assign.
+		for p := 0; p < kmN; p++ {
+			best, bestD := int64(0), 0.0
+			for k := 0; k < kmK; k++ {
+				d := 0.0
+				for j := 0; j < kmD; j++ {
+					diff := m.ReadFloat(uint64(kmPts+(p*kmD+j)*8)) - m.ReadFloat(uint64(kmCent+(k*kmD+j)*8))
+					d = d + diff*diff
+				}
+				if k == 0 || d < bestD {
+					best, bestD = int64(k), d
+				}
+			}
+			m.WriteInt(uint64(kmMember+p*8), best)
+			for j := 0; j < kmD; j++ {
+				a := uint64(kmSums + (int(best)*kmD+j)*8)
+				m.WriteFloat(a, m.ReadFloat(a)+m.ReadFloat(uint64(kmPts+(p*kmD+j)*8)))
+			}
+			ca := uint64(kmCounts + int(best)*8)
+			m.WriteInt(ca, m.ReadInt(ca)+1)
+		}
+		// Update centroids.
+		for k := 0; k < kmK; k++ {
+			n := m.ReadInt(uint64(kmCounts + k*8))
+			if n == 0 {
+				continue
+			}
+			for j := 0; j < kmD; j++ {
+				a := uint64(kmCent + (k*kmD+j)*8)
+				m.WriteFloat(a, m.ReadFloat(uint64(kmSums+(k*kmD+j)*8))/float64(n))
+			}
+		}
+	}
+}
+
+func kmeansProg() *program.Program {
+	b := program.NewBuilder("kmeans")
+	rRound := isa.R(1)
+	rP := isa.R(2)
+	rK := isa.R(3)
+	rJ := isa.R(4)
+	rN := isa.R(5)
+	rKK := isa.R(6)
+	rD := isa.R(7)
+	rT := isa.R(8)
+	rPA := isa.R(9)  // &pts[p][0]
+	rCA := isa.R(10) // &cent[k][0]
+	rBest := isa.R(11)
+	rI := isa.R(12)
+	rNR := isa.R(13)
+	rCnt := isa.R(14)
+	rSA := isa.R(15) // &sums[best][0]
+
+	fD := isa.F(1)
+	fDiff := isa.F(2)
+	fA := isa.F(3)
+	fB := isa.F(4)
+	fBest := isa.F(5)
+	fT := isa.F(6)
+	fN := isa.F(7)
+	fT2km := isa.F(8)
+
+	b.Li(rNR, kmRounds)
+	b.Li(rN, kmN)
+	b.Li(rKK, kmK)
+	b.Li(rD, kmD)
+	b.Li(rRound, 0)
+
+	b.Label("round")
+	// Clear sums and counts.
+	b.Li(rI, 0)
+	b.Li(rT, kmK*kmD)
+	b.FLi(fT, 0.0)
+	b.Label("clr")
+	b.Shli(rCA, rI, 3)
+	b.FSt(rCA, kmSums, fT)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rT, "clr")
+	b.Li(rI, 0)
+	b.Label("clrc")
+	b.Shli(rCA, rI, 3)
+	b.St(rCA, kmCounts, isa.R(0))
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rKK, "clrc")
+
+	// Assign points.
+	b.Li(rP, 0)
+	b.Label("point")
+	b.Muli(rPA, rP, kmD*8)
+	b.Addi(rPA, rPA, kmPts)
+	b.Li(rK, 0)
+	b.Li(rBest, 0)
+	b.Label("cent")
+	b.Muli(rCA, rK, kmD*8)
+	b.Addi(rCA, rCA, kmCent)
+	b.FLi(fD, 0.0)
+	b.Li(rJ, 0)
+	b.Label("dim")
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rPA)
+	b.FLd(fA, rT, 0)
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rCA)
+	b.FLd(fB, rT, 0)
+	b.FSub(fDiff, fA, fB)
+	b.FMul(fDiff, fDiff, fDiff)
+	b.FAdd(fD, fD, fDiff)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rD, "dim")
+	// Branchless running argmin over centroids (cmov shape):
+	// c = (k==0) | (d<best); best = best*(1-c) + k*c; bestD likewise.
+	rC1 := isa.R(16)
+	rInv := isa.R(17)
+	b.FSlt(rT, fD, fBest)
+	b.Slti(rC1, rK, 1) // k==0
+	b.Or(rT, rT, rC1)
+	b.Li(rInv, 1)
+	b.Sub(rInv, rInv, rT)
+	b.Mul(rC1, rBest, rInv)
+	b.Mul(rInv, rK, rT)
+	b.Add(rBest, rC1, rInv)
+	// bestD = c ? d : bestD — with c==1 also when k==0, FMin alone is
+	// wrong for k==0; use arithmetic select via ItoF.
+	b.ItoF(fT, rT)
+	b.FMul(fD, fD, fT)
+	b.FLi(fT2km, 1.0)
+	b.FSub(fT2km, fT2km, fT)
+	b.FMul(fBest, fBest, fT2km)
+	b.FAdd(fBest, fBest, fD)
+	b.Addi(rK, rK, 1)
+	b.Blt(rK, rKK, "cent")
+	// member[p] = best; sums[best] += pt; counts[best]++
+	b.Shli(rT, rP, 3)
+	b.St(rT, kmMember, rBest)
+	b.Muli(rSA, rBest, kmD*8)
+	b.Addi(rSA, rSA, kmSums)
+	b.Li(rJ, 0)
+	b.Label("acc")
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rPA)
+	b.FLd(fA, rT, 0)
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rSA)
+	b.FLd(fB, rT, 0)
+	b.FAdd(fB, fB, fA)
+	b.FSt(rT, 0, fB)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rD, "acc")
+	b.Shli(rT, rBest, 3)
+	b.Ld(rCnt, rT, kmCounts)
+	b.Addi(rCnt, rCnt, 1)
+	b.St(rT, kmCounts, rCnt)
+	b.Addi(rP, rP, 1)
+	b.Blt(rP, rN, "point")
+
+	// Update centroids.
+	b.Li(rK, 0)
+	b.Label("upd")
+	b.Shli(rT, rK, 3)
+	b.Ld(rCnt, rT, kmCounts)
+	b.Beq(rCnt, isa.R(0), "updnext")
+	b.ItoF(fN, rCnt)
+	b.Muli(rCA, rK, kmD*8)
+	b.Li(rJ, 0)
+	b.Label("updd")
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rCA)
+	b.FLd(fA, rT, kmSums)
+	b.FDiv(fA, fA, fN)
+	b.FSt(rT, kmCent, fA)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rD, "updd")
+	b.Label("updnext")
+	b.Addi(rK, rK, 1)
+	b.Blt(rK, rKK, "upd")
+
+	b.Addi(rRound, rRound, 1)
+	b.Blt(rRound, rNR, "round")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// KNN mirrors Rodinia's nn main kernel: compute the Euclidean distance from
+// a query location to every record, then select the k nearest by repeated
+// minimum extraction.
+//
+// Memory layout:
+//
+//	lat:  knnLat  float64[knnN]
+//	lng:  knnLng  float64[knnN]
+//	dist: knnDist float64[knnN]
+//	out:  knnOut  int64[knnK] (indices of the k nearest)
+const (
+	knnN = 512
+	knnK = 5
+
+	knnLat  = 0
+	knnLng  = knnLat + knnN*8
+	knnDist = knnLng + knnN*8
+	knnOut  = knnDist + knnN*8
+
+	knnQLat = 30.0
+	knnQLng = 60.0
+	knnBig  = 1e30
+)
+
+// KNN builds the k-nearest-neighbors workload.
+func KNN() *Workload {
+	return &Workload{
+		Name:     "K-Nearest Neighbors",
+		Abbrev:   "KNN",
+		Domain:   "Data Mining",
+		Prog:     knnProg(),
+		Init:     knnInit,
+		Golden:   knnGolden,
+		MaxInsts: 2_000_000,
+	}
+}
+
+func knnInit(m *mem.Memory) {
+	r := newLCG(707)
+	for i := 0; i < knnN; i++ {
+		m.WriteFloat(uint64(knnLat+i*8), 90*r.float01())
+		m.WriteFloat(uint64(knnLng+i*8), 180*r.float01())
+	}
+}
+
+func knnGolden(m *mem.Memory) {
+	for i := 0; i < knnN; i++ {
+		dlat := m.ReadFloat(uint64(knnLat+i*8)) - knnQLat
+		dlng := m.ReadFloat(uint64(knnLng+i*8)) - knnQLng
+		m.WriteFloat(uint64(knnDist+i*8), dlat*dlat+dlng*dlng)
+	}
+	for k := 0; k < knnK; k++ {
+		best, bestD := int64(-1), knnBig
+		for i := 0; i < knnN; i++ {
+			d := m.ReadFloat(uint64(knnDist + i*8))
+			// Branchless argmin, as -O3 compiles it (cmov).
+			var c int64
+			if d < bestD {
+				c = 1
+			}
+			best = best*(1-c) + int64(i)*c
+			if d < bestD {
+				bestD = d
+			}
+		}
+		m.WriteInt(uint64(knnOut+k*8), best)
+		m.WriteFloat(uint64(knnDist+int(best)*8), knnBig)
+	}
+}
+
+func knnProg() *program.Program {
+	b := program.NewBuilder("knn")
+	rI := isa.R(1)
+	rN := isa.R(2)
+	rT := isa.R(3)
+	rK := isa.R(4)
+	rKK := isa.R(5)
+	rBest := isa.R(6)
+	rCmp := isa.R(7)
+
+	fLat := isa.F(1)
+	fLng := isa.F(2)
+	fQLat := isa.F(3)
+	fQLng := isa.F(4)
+	fD := isa.F(5)
+	fBest := isa.F(7)
+	fBig := isa.F(8)
+
+	b.Li(rN, knnN)
+	b.FLi(fQLat, knnQLat)
+	b.FLi(fQLng, knnQLng)
+	b.FLi(fBig, knnBig)
+
+	// Distance sweep.
+	b.Li(rI, 0)
+	b.Label("dist")
+	b.Shli(rT, rI, 3)
+	b.FLd(fLat, rT, knnLat)
+	b.FLd(fLng, rT, knnLng)
+	b.FSub(fLat, fLat, fQLat)
+	b.FSub(fLng, fLng, fQLng)
+	b.FMul(fLat, fLat, fLat)
+	b.FMul(fLng, fLng, fLng)
+	b.FAdd(fD, fLat, fLng)
+	b.FSt(rT, knnDist, fD)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "dist")
+
+	// k minimum extractions with a branchless running argmin (the shape
+	// -O3 produces via conditional moves), keeping the inner loop to a
+	// single backedge.
+	rInv := isa.R(8)
+	rA := isa.R(9)
+	rB := isa.R(10)
+	b.Li(rKK, knnK)
+	b.Li(rK, 0)
+	b.Label("select")
+	b.Li(rBest, -1)
+	b.FMov(fBest, fBig)
+	b.Li(rI, 0)
+	b.Label("scan")
+	b.Shli(rT, rI, 3)
+	b.FLd(fD, rT, knnDist)
+	b.FSlt(rCmp, fD, fBest)
+	// best = best*(1-c) + i*c ; bestD = min(bestD, d)
+	b.Li(rInv, 1)
+	b.Sub(rInv, rInv, rCmp)
+	b.Mul(rA, rBest, rInv)
+	b.Mul(rB, rI, rCmp)
+	b.Add(rBest, rA, rB)
+	b.FMin(fBest, fBest, fD)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "scan")
+	b.Shli(rT, rK, 3)
+	b.St(rT, knnOut, rBest)
+	b.Shli(rT, rBest, 3)
+	b.FSt(rT, knnDist, fBig)
+	b.Addi(rK, rK, 1)
+	b.Blt(rK, rKK, "select")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// LUD mirrors Rodinia's lud_base: in-place LU decomposition of an N×N
+// matrix without pivoting (Doolittle form): for each pivot k, scale the
+// column below the pivot and update the trailing submatrix.
+//
+// Memory layout:
+//
+//	a: ludA float64[ludN][ludN] (row major)
+const (
+	ludN = 32
+	ludA = 0
+)
+
+// LUD builds the LU decomposition workload.
+func LUD() *Workload {
+	return &Workload{
+		Name:     "LU Decomposition",
+		Abbrev:   "LD",
+		Domain:   "Linear Algebra",
+		Prog:     ludProg(),
+		Init:     ludInit,
+		Golden:   ludGolden,
+		MaxInsts: 3_000_000,
+	}
+}
+
+func ludInit(m *mem.Memory) {
+	r := newLCG(606)
+	for i := 0; i < ludN; i++ {
+		for j := 0; j < ludN; j++ {
+			v := r.float01() + 0.1
+			if i == j {
+				v += float64(ludN) // diagonal dominance: no pivoting needed
+			}
+			m.WriteFloat(uint64(ludA+(i*ludN+j)*8), v)
+		}
+	}
+}
+
+func ludGolden(m *mem.Memory) {
+	at := func(i, j int) uint64 { return uint64(ludA + (i*ludN+j)*8) }
+	for k := 0; k < ludN; k++ {
+		piv := m.ReadFloat(at(k, k))
+		for i := k + 1; i < ludN; i++ {
+			l := m.ReadFloat(at(i, k)) / piv
+			m.WriteFloat(at(i, k), l)
+			for j := k + 1; j < ludN; j++ {
+				m.WriteFloat(at(i, j), m.ReadFloat(at(i, j))-l*m.ReadFloat(at(k, j)))
+			}
+		}
+	}
+}
+
+func ludProg() *program.Program {
+	b := program.NewBuilder("lud")
+	rK := isa.R(1)
+	rI := isa.R(2)
+	rJ := isa.R(3)
+	rN := isa.R(4)
+	rT := isa.R(5)
+	rRowI := isa.R(6) // &a[i][0]
+	rRowK := isa.R(7) // &a[k][0]
+	rK1 := isa.R(8)   // k+1
+
+	fPiv := isa.F(1)
+	fL := isa.F(2)
+	fA := isa.F(3)
+	fB := isa.F(4)
+
+	b.Li(rN, ludN)
+	b.Li(rK, 0)
+
+	b.Label("pivot")
+	// piv = a[k][k]
+	b.Muli(rRowK, rK, ludN*8)
+	b.Shli(rT, rK, 3)
+	b.Add(rT, rT, rRowK)
+	b.FLd(fPiv, rT, ludA)
+	b.Addi(rK1, rK, 1)
+	b.Mov(rI, rK1)
+	b.Bge(rI, rN, "next_pivot")
+
+	b.Label("rowi")
+	b.Muli(rRowI, rI, ludN*8)
+	// l = a[i][k]/piv; a[i][k] = l
+	b.Shli(rT, rK, 3)
+	b.Add(rT, rT, rRowI)
+	b.FLd(fL, rT, ludA)
+	b.FDiv(fL, fL, fPiv)
+	b.FSt(rT, ludA, fL)
+	// Trailing update: bottom-tested loop with a single backedge (the
+	// guard runs once before entry; j = k+1 < n holds whenever i < n).
+	b.Bge(rK1, rN, "rownext")
+	b.Mov(rJ, rK1)
+	b.Label("colj")
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rRowK)
+	b.FLd(fB, rT, ludA) // a[k][j]
+	b.FMul(fB, fL, fB)
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rRowI)
+	b.FLd(fA, rT, ludA) // a[i][j]
+	b.FSub(fA, fA, fB)
+	b.FSt(rT, ludA, fA)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rN, "colj")
+	b.Label("rownext")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "rowi")
+
+	b.Label("next_pivot")
+	b.Addi(rK, rK, 1)
+	b.Blt(rK, rN, "pivot")
+	b.Halt()
+	return b.MustBuild()
+}

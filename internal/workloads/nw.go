@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// NW mirrors Rodinia's runTest: Needleman-Wunsch global sequence alignment.
+// The score matrix fills with
+//
+//	m[i][j] = max(m[i-1][j-1] + sim[i][j], m[i-1][j] - penalty, m[i][j-1] - penalty)
+//
+// This kernel is almost entirely integer loads/stores with a serial
+// recurrence through memory, which is why the paper's NW slows down when
+// memory speculation is disabled.
+//
+// Memory layout:
+//
+//	score: nwScore int64[(nwLen+1)][(nwLen+1)]
+//	seqA:  nwSeqA  int64[nwLen]
+//	seqB:  nwSeqB  int64[nwLen]
+const (
+	nwLen     = 48
+	nwPenalty = 2
+	nwDim     = nwLen + 1
+
+	nwScore = 0
+	nwSeqA  = nwScore + nwDim*nwDim*8
+	nwSeqB  = nwSeqA + nwLen*8
+)
+
+// NW builds the Needleman-Wunsch workload.
+func NW() *Workload {
+	return &Workload{
+		Name:     "Needleman-Wunsch",
+		Abbrev:   "NW",
+		Domain:   "Bioinformatics",
+		Prog:     nwProg(),
+		Init:     nwInit,
+		Golden:   nwGolden,
+		MaxInsts: 2_000_000,
+	}
+}
+
+func nwInit(m *mem.Memory) {
+	r := newLCG(808)
+	for i := 0; i < nwLen; i++ {
+		m.WriteInt(uint64(nwSeqA+i*8), r.intn(4))
+		m.WriteInt(uint64(nwSeqB+i*8), r.intn(4))
+	}
+	// Boundary rows/cols: gap penalties.
+	for i := 0; i <= nwLen; i++ {
+		m.WriteInt(uint64(nwScore+(i*nwDim)*8), int64(-i*nwPenalty))
+		m.WriteInt(uint64(nwScore+i*8), int64(-i*nwPenalty))
+	}
+}
+
+// nwSim is the match/mismatch score.
+func nwSim(a, b int64) int64 {
+	if a == b {
+		return 3
+	}
+	return -1
+}
+
+func nwGolden(m *mem.Memory) {
+	at := func(i, j int) uint64 { return uint64(nwScore + (i*nwDim+j)*8) }
+	for i := 1; i <= nwLen; i++ {
+		a := m.ReadInt(uint64(nwSeqA + (i-1)*8))
+		for j := 1; j <= nwLen; j++ {
+			bch := m.ReadInt(uint64(nwSeqB + (j-1)*8))
+			diag := m.ReadInt(at(i-1, j-1)) + nwSim(a, bch)
+			up := m.ReadInt(at(i-1, j)) - nwPenalty
+			left := m.ReadInt(at(i, j-1)) - nwPenalty
+			best := diag
+			if up > best {
+				best = up
+			}
+			if left > best {
+				best = left
+			}
+			m.WriteInt(at(i, j), best)
+		}
+	}
+}
+
+func nwProg() *program.Program {
+	b := program.NewBuilder("nw")
+	rI := isa.R(1)
+	rJ := isa.R(2)
+	rN := isa.R(3) // nwLen+1 bound (exclusive <=: use <= via < N+1)
+	rT := isa.R(4)
+	rA := isa.R(5) // seqA[i-1]
+	rB := isa.R(6) // seqB[j-1]
+	rDiag := isa.R(7)
+	rUp := isa.R(8)
+	rLeft := isa.R(9)
+	rBest := isa.R(10)
+	rRow := isa.R(11)  // &score[i][0]
+	rPRow := isa.R(12) // &score[i-1][0]
+	rSim := isa.R(13)
+
+	b.Li(rN, nwLen+1)
+	b.Li(rI, 1)
+	b.Label("rowi")
+	b.Shli(rT, rI, 3)
+	b.Ld(rA, rT, nwSeqA-8) // seqA[i-1]
+	b.Muli(rRow, rI, nwDim*8)
+	b.Addi(rPRow, rRow, -nwDim*8)
+	b.Li(rJ, 1)
+	b.Label("colj")
+	b.Shli(rT, rJ, 3)
+	b.Ld(rB, rT, nwSeqB-8) // seqB[j-1]
+	// sim = (a==b) ? 3 : -1, branchless: eq = (a^b) < 1; sim = 4*eq - 1.
+	// (Sequence symbols are small non-negative, so xor stays >= 0.)
+	b.Xor(rSim, rA, rB)
+	b.Slti(rSim, rSim, 1)
+	b.Muli(rSim, rSim, 4)
+	b.Addi(rSim, rSim, -1)
+	// diag = score[i-1][j-1] + sim
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rPRow)
+	b.Ld(rDiag, rT, nwScore-8)
+	b.Add(rDiag, rDiag, rSim)
+	// up = score[i-1][j] - p
+	b.Ld(rUp, rT, nwScore)
+	b.Addi(rUp, rUp, -nwPenalty)
+	// left = score[i][j-1] - p
+	b.Shli(rT, rJ, 3)
+	b.Add(rT, rT, rRow)
+	b.Ld(rLeft, rT, nwScore-8)
+	b.Addi(rLeft, rLeft, -nwPenalty)
+	// best = max3
+	b.Max(rBest, rDiag, rUp)
+	b.Max(rBest, rBest, rLeft)
+	b.St(rT, nwScore, rBest)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rN, "colj")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "rowi")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"math"
+
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// ParticleFilter mirrors Rodinia's particleFilter: a statistical estimator
+// tracking a 1D target. Each frame: propagate particles with deterministic
+// pseudo-noise, weight each by a Gaussian-style likelihood against the
+// observation, normalize, and compute the posterior estimate.
+//
+// Memory layout:
+//
+//	x:   ptfX   float64[ptfN]   // particle positions
+//	w:   ptfW   float64[ptfN]   // weights
+//	obs: ptfObs float64[ptfFrames]
+//	est: ptfEst float64[ptfFrames]
+//	rng: ptfRng int64           // LCG state used by the kernel itself
+const (
+	ptfN      = 256
+	ptfFrames = 8
+
+	ptfX   = 0
+	ptfW   = ptfX + ptfN*8
+	ptfObs = ptfW + ptfN*8
+	ptfEst = ptfObs + ptfFrames*8
+	ptfRng = ptfEst + ptfFrames*8
+
+	ptfSeed = 0x5eed
+	lcgMul  = 1103515245
+	lcgAdd  = 12345
+	lcgMask = 0x7fffffff
+)
+
+// ParticleFilter builds the PTF workload.
+func ParticleFilter() *Workload {
+	return &Workload{
+		Name:     "Particle Filter",
+		Abbrev:   "PTF",
+		Domain:   "Medical Imaging",
+		Prog:     particleProg(),
+		Init:     particleInit,
+		Golden:   particleGolden,
+		MaxInsts: 3_000_000,
+	}
+}
+
+func particleInit(m *mem.Memory) {
+	r := newLCG(1111)
+	for i := 0; i < ptfN; i++ {
+		m.WriteFloat(uint64(ptfX+i*8), 10*r.float01())
+	}
+	for f := 0; f < ptfFrames; f++ {
+		m.WriteFloat(uint64(ptfObs+f*8), 5+2*r.float01())
+	}
+	m.WriteInt(uint64(ptfRng), ptfSeed)
+}
+
+// ptfNoise advances the kernel's LCG and maps it to [-0.5, 0.5).
+func ptfNoise(state int64) (int64, float64) {
+	state = (state*lcgMul + lcgAdd) & lcgMask
+	return state, float64(state)/float64(lcgMask+1) - 0.5
+}
+
+func particleGolden(m *mem.Memory) {
+	state := m.ReadInt(uint64(ptfRng))
+	for f := 0; f < ptfFrames; f++ {
+		obs := m.ReadFloat(uint64(ptfObs + f*8))
+		// Propagate + weight.
+		sum := 0.0
+		for i := 0; i < ptfN; i++ {
+			var n float64
+			state, n = ptfNoise(state)
+			x := m.ReadFloat(uint64(ptfX+i*8)) + n
+			m.WriteFloat(uint64(ptfX+i*8), x)
+			d := x - obs
+			w := math.Exp(-(d * d))
+			m.WriteFloat(uint64(ptfW+i*8), w)
+			sum = sum + w
+		}
+		// Normalize + estimate.
+		est := 0.0
+		for i := 0; i < ptfN; i++ {
+			w := m.ReadFloat(uint64(ptfW+i*8)) / sum
+			m.WriteFloat(uint64(ptfW+i*8), w)
+			est = est + w*m.ReadFloat(uint64(ptfX+i*8))
+		}
+		m.WriteFloat(uint64(ptfEst+f*8), est)
+	}
+	m.WriteInt(uint64(ptfRng), state)
+}
+
+func particleProg() *program.Program {
+	b := program.NewBuilder("particlefilter")
+	rF := isa.R(1)
+	rI := isa.R(2)
+	rN := isa.R(3)
+	rNF := isa.R(4)
+	rT := isa.R(5)
+	rSt := isa.R(6) // LCG state
+
+	fObs := isa.F(1)
+	fX := isa.F(2)
+	fW := isa.F(3)
+	fSum := isa.F(4)
+	fD := isa.F(5)
+	fEst := isa.F(6)
+	fN := isa.F(7)
+	fHalf := isa.F(8)
+	fScale := isa.F(9)
+
+	b.Li(rN, ptfN)
+	b.Li(rNF, ptfFrames)
+	b.Ld(rSt, isa.R(0), ptfRng)
+	b.FLi(fHalf, 0.5)
+	b.FLi(fScale, 1.0/float64(lcgMask+1))
+	b.Li(rF, 0)
+
+	b.Label("frame")
+	b.Shli(rT, rF, 3)
+	b.FLd(fObs, rT, ptfObs)
+	b.FLi(fSum, 0.0)
+	b.Li(rI, 0)
+	b.Label("prop")
+	// state = (state*mul+add)&mask ; noise = state*scale - 0.5
+	b.Muli(rSt, rSt, lcgMul)
+	b.Addi(rSt, rSt, lcgAdd)
+	b.Andi(rSt, rSt, lcgMask)
+	b.ItoF(fN, rSt)
+	b.FMul(fN, fN, fScale)
+	b.FSub(fN, fN, fHalf)
+	// x += noise
+	b.Shli(rT, rI, 3)
+	b.FLd(fX, rT, ptfX)
+	b.FAdd(fX, fX, fN)
+	b.FSt(rT, ptfX, fX)
+	// w = exp(-(x-obs)^2)
+	b.FSub(fD, fX, fObs)
+	b.FMul(fD, fD, fD)
+	b.FNeg(fD, fD)
+	b.FExp(fW, fD)
+	b.FSt(rT, ptfW, fW)
+	b.FAdd(fSum, fSum, fW)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "prop")
+
+	// Normalize + estimate.
+	b.FLi(fEst, 0.0)
+	b.Li(rI, 0)
+	b.Label("norm")
+	b.Shli(rT, rI, 3)
+	b.FLd(fW, rT, ptfW)
+	b.FDiv(fW, fW, fSum)
+	b.FSt(rT, ptfW, fW)
+	b.FLd(fX, rT, ptfX)
+	b.FMul(fW, fW, fX)
+	b.FAdd(fEst, fEst, fW)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "norm")
+	b.Shli(rT, rF, 3)
+	b.FSt(rT, ptfEst, fEst)
+	b.Addi(rF, rF, 1)
+	b.Blt(rF, rNF, "frame")
+	b.St(isa.R(0), ptfRng, rSt)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// PathFinder mirrors Rodinia's run kernel: dynamic programming over a 2D
+// grid, row by row — each destination cell takes the cheapest of its three
+// upper neighbours plus its own weight:
+//
+//	dst[x] = wall[r][x] + min(src[x-1], src[x], src[x+1])
+//
+// Memory layout:
+//
+//	wall: pfWall int64[pfRows][pfCols]
+//	src:  pfSrc  int64[pfCols]
+//	dst:  pfDst  int64[pfCols]
+const (
+	pfRows = 32
+	pfCols = 64
+
+	pfWall = 0
+	pfSrc  = pfWall + pfRows*pfCols*8
+	pfDst  = pfSrc + pfCols*8
+)
+
+// PathFinder builds the PF workload.
+func PathFinder() *Workload {
+	return &Workload{
+		Name:     "PathFinder",
+		Abbrev:   "PF",
+		Domain:   "Grid Traversal",
+		Prog:     pathfinderProg(),
+		Init:     pathfinderInit,
+		Golden:   pathfinderGolden,
+		MaxInsts: 2_000_000,
+	}
+}
+
+func pathfinderInit(m *mem.Memory) {
+	r := newLCG(909)
+	for i := 0; i < pfRows*pfCols; i++ {
+		m.WriteInt(uint64(pfWall+i*8), r.intn(10))
+	}
+	for x := 0; x < pfCols; x++ {
+		m.WriteInt(uint64(pfSrc+x*8), m.ReadInt(uint64(pfWall+x*8)))
+	}
+}
+
+func pathfinderGolden(m *mem.Memory) {
+	for r := 1; r < pfRows; r++ {
+		for x := 0; x < pfCols; x++ {
+			best := m.ReadInt(uint64(pfSrc + x*8))
+			if x > 0 {
+				if v := m.ReadInt(uint64(pfSrc + (x-1)*8)); v < best {
+					best = v
+				}
+			}
+			if x < pfCols-1 {
+				if v := m.ReadInt(uint64(pfSrc + (x+1)*8)); v < best {
+					best = v
+				}
+			}
+			m.WriteInt(uint64(pfDst+x*8), m.ReadInt(uint64(pfWall+(r*pfCols+x)*8))+best)
+		}
+		// src <- dst
+		for x := 0; x < pfCols; x++ {
+			m.WriteInt(uint64(pfSrc+x*8), m.ReadInt(uint64(pfDst+x*8)))
+		}
+	}
+}
+
+func pathfinderProg() *program.Program {
+	b := program.NewBuilder("pathfinder")
+	rR := isa.R(1)
+	rX := isa.R(2)
+	rRows := isa.R(3)
+	rCols := isa.R(4)
+	rT := isa.R(5)
+	rBest := isa.R(6)
+	rV := isa.R(7)
+	rW := isa.R(8)
+	rRowB := isa.R(9) // &wall[r][0]
+	rCm1 := isa.R(10) // pfCols-1
+
+	b.Li(rRows, pfRows)
+	b.Li(rCols, pfCols)
+	b.Li(rCm1, pfCols-1)
+	b.Li(rR, 1)
+
+	b.Label("row")
+	b.Muli(rRowB, rR, pfCols*8)
+	// Peeled first cell (no left neighbour).
+	b.Ld(rBest, isa.R(0), pfSrc)
+	b.Ld(rV, isa.R(0), pfSrc+8)
+	b.Min(rBest, rBest, rV)
+	b.Ld(rW, rRowB, pfWall)
+	b.Add(rW, rW, rBest)
+	b.St(isa.R(0), pfDst, rW)
+	// Branchless interior: cells 1..cols-2 with a single backedge.
+	b.Li(rX, 1)
+	b.Label("cell")
+	b.Shli(rT, rX, 3)
+	b.Ld(rBest, rT, pfSrc)
+	b.Ld(rV, rT, pfSrc-8)
+	b.Min(rBest, rBest, rV)
+	b.Ld(rV, rT, pfSrc+8)
+	b.Min(rBest, rBest, rV)
+	b.Add(rV, rT, rRowB)
+	b.Ld(rW, rV, pfWall)
+	b.Add(rW, rW, rBest)
+	b.St(rT, pfDst, rW)
+	b.Addi(rX, rX, 1)
+	b.Blt(rX, rCm1, "cell")
+	// Peeled last cell (no right neighbour).
+	b.Shli(rT, rCm1, 3)
+	b.Ld(rBest, rT, pfSrc)
+	b.Ld(rV, rT, pfSrc-8)
+	b.Min(rBest, rBest, rV)
+	b.Add(rV, rT, rRowB)
+	b.Ld(rW, rV, pfWall)
+	b.Add(rW, rW, rBest)
+	b.St(rT, pfDst, rW)
+	// src <- dst
+	b.Li(rX, 0)
+	b.Label("copy")
+	b.Shli(rT, rX, 3)
+	b.Ld(rV, rT, pfDst)
+	b.St(rT, pfSrc, rV)
+	b.Addi(rX, rX, 1)
+	b.Blt(rX, rCols, "copy")
+	b.Addi(rR, rR, 1)
+	b.Blt(rR, rRows, "row")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,291 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests validate the golden models themselves — the anchors of the
+// whole verification chain — against independent mathematical properties of
+// each algorithm, not against another implementation of the same loops.
+
+func TestBFSDistancesAreValid(t *testing.T) {
+	w := BFS()
+	m := w.GoldenMemory()
+	// Distances must satisfy the BFS invariant: cost[source]=0 and every
+	// edge (u,v) with cost[u] >= 0 implies cost[v] <= cost[u]+1 (when
+	// reached) and reachable nodes have the minimal level structure:
+	// a node with cost d>0 must have an in-neighbour with cost d-1.
+	cost := make([]int64, bfsNodes)
+	for v := 0; v < bfsNodes; v++ {
+		cost[v] = m.ReadInt(uint64(bfsCost + v*8))
+	}
+	if cost[0] != 0 {
+		t.Fatalf("source cost = %d", cost[0])
+	}
+	// Edge relaxation invariant.
+	for u := 0; u < bfsNodes; u++ {
+		if cost[u] < 0 {
+			continue
+		}
+		start := m.ReadInt(uint64(bfsStart + u*8))
+		deg := m.ReadInt(uint64(bfsCount + u*8))
+		for e := int64(0); e < deg; e++ {
+			v := m.ReadInt(uint64(bfsEdges) + uint64(start+e)*8)
+			if cost[v] < 0 {
+				t.Errorf("edge %d->%d: reachable node unvisited", u, v)
+			} else if cost[v] > cost[u]+1 {
+				t.Errorf("edge %d->%d: cost %d > %d+1", u, v, cost[v], cost[u])
+			}
+		}
+	}
+	// Predecessor invariant.
+	for v := 0; v < bfsNodes; v++ {
+		d := cost[v]
+		if d <= 0 {
+			continue
+		}
+		found := false
+		for u := 0; u < bfsNodes && !found; u++ {
+			if cost[u] != d-1 {
+				continue
+			}
+			start := m.ReadInt(uint64(bfsStart + u*8))
+			deg := m.ReadInt(uint64(bfsCount + u*8))
+			for e := int64(0); e < deg; e++ {
+				if m.ReadInt(uint64(bfsEdges)+uint64(start+e)*8) == int64(v) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("node %d at depth %d has no depth-%d predecessor", v, d, d-1)
+		}
+	}
+}
+
+func TestLUDReconstructsMatrix(t *testing.T) {
+	w := LUD()
+	orig := w.NewMemory()
+	dec := w.GoldenMemory()
+	at := func(i, j int) uint64 { return uint64(ludA + (i*ludN+j)*8) }
+	// L (unit lower) times U must reproduce the original matrix.
+	for i := 0; i < ludN; i++ {
+		for j := 0; j < ludN; j++ {
+			sum := 0.0
+			for k := 0; k <= i && k <= j; k++ {
+				var l float64
+				if k == i {
+					l = 1.0
+				} else {
+					l = dec.ReadFloat(at(i, k))
+				}
+				sum += l * dec.ReadFloat(at(k, j))
+			}
+			want := orig.ReadFloat(at(i, j))
+			if math.Abs(sum-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				t.Fatalf("LU[%d][%d] = %v, want %v", i, j, sum, want)
+			}
+		}
+	}
+}
+
+func TestKNNSelectsTrueNearest(t *testing.T) {
+	w := KNN()
+	m := w.GoldenMemory()
+	// Recompute distances independently and verify the selected indices
+	// are the k smallest.
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var all []cand
+	for i := 0; i < knnN; i++ {
+		dlat := m.ReadFloat(uint64(knnLat+i*8)) - knnQLat
+		dlng := m.ReadFloat(uint64(knnLng+i*8)) - knnQLng
+		all = append(all, cand{i, dlat*dlat + dlng*dlng})
+	}
+	selected := map[int]bool{}
+	var maxSel float64
+	for k := 0; k < knnK; k++ {
+		idx := int(m.ReadInt(uint64(knnOut + k*8)))
+		selected[idx] = true
+		if all[idx].d > maxSel {
+			maxSel = all[idx].d
+		}
+	}
+	if len(selected) != knnK {
+		t.Fatalf("selected %d distinct indices, want %d", len(selected), knnK)
+	}
+	for _, c := range all {
+		if !selected[c.idx] && c.d < maxSel {
+			t.Errorf("unselected point %d (d=%v) closer than selected max %v", c.idx, c.d, maxSel)
+		}
+	}
+}
+
+func TestNWScoreProperties(t *testing.T) {
+	w := NW()
+	m := w.GoldenMemory()
+	at := func(i, j int) uint64 { return uint64(nwScore + (i*nwDim+j)*8) }
+	// Every interior cell must equal the DP recurrence and be bounded by
+	// 3*min(i,j) - penalty*|i-j| above and -penalty*(i+j) below.
+	for i := 1; i <= nwLen; i++ {
+		for j := 1; j <= nwLen; j++ {
+			v := m.ReadInt(at(i, j))
+			hi := int64(3*min(i, j) - nwPenalty*abs(i-j))
+			lo := int64(-nwPenalty * (i + j))
+			if v > hi || v < lo {
+				t.Fatalf("score[%d][%d] = %d outside [%d, %d]", i, j, v, lo, hi)
+			}
+			// Monotone step property: v differs from each neighbour by
+			// at most the largest step size.
+			d := m.ReadInt(at(i-1, j-1))
+			if v < d-int64(nwPenalty)*2 || v > d+3 {
+				t.Fatalf("score[%d][%d]=%d inconsistent with diag %d", i, j, v, d)
+			}
+		}
+	}
+}
+
+func TestKmeansMembershipIsNearest(t *testing.T) {
+	w := Kmeans()
+	m := w.GoldenMemory()
+	// After the final round, each point's recorded membership must be
+	// the argmin distance to the centroids as they were when assignment
+	// ran; since centroids moved afterwards we verify a weaker but
+	// meaningful property: every cluster with members has its centroid
+	// at the mean of its members' coordinates.
+	counts := make([]int64, kmK)
+	sums := make([][]float64, kmK)
+	for k := range sums {
+		sums[k] = make([]float64, kmD)
+	}
+	for p := 0; p < kmN; p++ {
+		k := m.ReadInt(uint64(kmMember + p*8))
+		counts[k]++
+		for j := 0; j < kmD; j++ {
+			sums[k][j] += m.ReadFloat(uint64(kmPts + (p*kmD+j)*8))
+		}
+	}
+	for k := 0; k < kmK; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		for j := 0; j < kmD; j++ {
+			want := sums[k][j] / float64(counts[k])
+			got := m.ReadFloat(uint64(kmCent + (k*kmD+j)*8))
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("centroid[%d][%d] = %v, want member mean %v", k, j, got, want)
+			}
+		}
+	}
+}
+
+func TestParticleFilterWeightsNormalized(t *testing.T) {
+	w := ParticleFilter()
+	m := w.GoldenMemory()
+	sum := 0.0
+	for i := 0; i < ptfN; i++ {
+		wi := m.ReadFloat(uint64(ptfW + i*8))
+		if wi < 0 || wi > 1 {
+			t.Fatalf("weight[%d] = %v out of [0,1]", i, wi)
+		}
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+	// Estimates must lie within the particle cloud's range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < ptfN; i++ {
+		x := m.ReadFloat(uint64(ptfX + i*8))
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	for f := 0; f < ptfFrames; f++ {
+		est := m.ReadFloat(uint64(ptfEst + f*8))
+		if est < lo-1 || est > hi+1 {
+			t.Errorf("estimate[%d] = %v outside cloud [%v, %v]", f, est, lo, hi)
+		}
+	}
+}
+
+func TestSRADCoefficientsClamped(t *testing.T) {
+	w := SRAD()
+	m := w.GoldenMemory()
+	for r := 1; r < srDim-1; r++ {
+		for c := 1; c < srDim-1; c++ {
+			cv := m.ReadFloat(uint64(srC + (r*srDim+c)*8))
+			if cv < 0 || cv > 1 {
+				t.Fatalf("c[%d][%d] = %v outside [0,1]", r, c, cv)
+			}
+		}
+	}
+	// Diffusion must keep the image positive and bounded.
+	for i := 0; i < srDim*srDim; i++ {
+		v := m.ReadFloat(uint64(srImg + i*8))
+		if v <= 0 || v > 10 {
+			t.Fatalf("img[%d] = %v implausible", i, v)
+		}
+	}
+}
+
+func TestBTreeResultsMatchLinearSearch(t *testing.T) {
+	w := BTree()
+	m := w.GoldenMemory()
+	// Every query result must equal the value stored at the leaf slot the
+	// key's range maps to; the tree construction makes that value
+	// lo+span*c+7 where [lo,lo+span) is the slot's key range.
+	for q := 0; q < btQueries; q++ {
+		key := m.ReadInt(uint64(btQuery + q*8))
+		got := m.ReadInt(uint64(btOut + q*8))
+		// Each leaf slot covers span = keySpace / fan^levels.
+		span := int64(btKeySpace)
+		for d := 0; d < btLevels; d++ {
+			span /= btFan
+		}
+		slotLo := (key / span) * span
+		if want := slotLo + 7; got != want {
+			t.Fatalf("query %d (key %d): got %d, want %d", q, key, got, want)
+		}
+	}
+}
+
+func TestHotspotBordersFixed(t *testing.T) {
+	w := Hotspot()
+	before := w.NewMemory()
+	after := w.GoldenMemory()
+	// With an even number of steps the final grid is in tempA; with odd,
+	// in tempB. Either way border cells carry the original temperatures.
+	base := int64(hsTempA)
+	if hsSteps%2 == 1 {
+		base = hsTempB
+	}
+	for r := 0; r < hsDim; r++ {
+		for c := 0; c < hsDim; c++ {
+			if r != 0 && c != 0 && r != hsDim-1 && c != hsDim-1 {
+				continue
+			}
+			orig := before.ReadFloat(uint64(hsTempA + (r*hsDim+c)*8))
+			got := after.ReadFloat(uint64(base + int64(r*hsDim+c)*8))
+			if got != orig {
+				t.Fatalf("border [%d][%d] changed: %v -> %v", r, c, orig, got)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

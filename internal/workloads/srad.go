@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// SRAD mirrors Rodinia's srad main loop: speckle-reducing anisotropic
+// diffusion over an image. Each iteration computes, per interior pixel, the
+// directional derivatives and a diffusion coefficient
+//
+//	g2 = (dN² + dS² + dW² + dE²) / J²
+//	l  = (dN + dS + dW + dE) / J
+//	num = 0.5·g2 − l²/16
+//	den = (1 + l/4)²
+//	q   = num/den
+//	c   = clamp01( 1/(1 + (q−q0)/(q0·(1+q0))) )
+//
+// then diffuses: J += 0.25·λ·(cN·dN + cS·dS + cW·dW + cE·dE), using the
+// just-computed c as all four coefficients (a one-pass simplification that
+// keeps the same arithmetic shape and memory behaviour). Heavy on division
+// and dependent loads/stores — the paper's SRAD slows down without memory
+// speculation.
+//
+// Memory layout:
+//
+//	img: srImg float64[srDim][srDim]
+//	c:   srC   float64[srDim][srDim]
+const (
+	srDim   = 28
+	srIters = 3
+
+	srImg = 0
+	srC   = srImg + srDim*srDim*8
+
+	srLambda = 0.5
+	srQ0     = 0.5
+)
+
+// SRAD builds the SRAD workload.
+func SRAD() *Workload {
+	return &Workload{
+		Name:     "SRAD",
+		Abbrev:   "SRAD",
+		Domain:   "Image Processing",
+		Prog:     sradProg(),
+		Init:     sradInit,
+		Golden:   sradGolden,
+		MaxInsts: 4_000_000,
+	}
+}
+
+func sradInit(m *mem.Memory) {
+	r := newLCG(1212)
+	for i := 0; i < srDim*srDim; i++ {
+		m.WriteFloat(uint64(srImg+i*8), 1+r.float01())
+	}
+}
+
+func sradGolden(m *mem.Memory) {
+	at := func(base, r, c int) uint64 { return uint64(base + (r*srDim+c)*8) }
+	for it := 0; it < srIters; it++ {
+		for r := 1; r < srDim-1; r++ {
+			for c := 1; c < srDim-1; c++ {
+				j := m.ReadFloat(at(srImg, r, c))
+				dN := m.ReadFloat(at(srImg, r-1, c)) - j
+				dS := m.ReadFloat(at(srImg, r+1, c)) - j
+				dW := m.ReadFloat(at(srImg, r, c-1)) - j
+				dE := m.ReadFloat(at(srImg, r, c+1)) - j
+				g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (j * j)
+				l := (dN + dS + dW + dE) / j
+				num := 0.5*g2 - (l*l)/16.0
+				den := (1 + l/4.0) * (1 + l/4.0)
+				q := num / den
+				cv := 1.0 / (1.0 + (q-srQ0)/(srQ0*(1.0+srQ0)))
+				if cv < 0 {
+					cv = 0
+				} else if cv > 1 {
+					cv = 1
+				}
+				m.WriteFloat(at(srC, r, c), cv)
+				d := cv * (dN + dS + dW + dE)
+				m.WriteFloat(at(srImg, r, c), j+0.25*srLambda*d)
+			}
+		}
+	}
+}
+
+func sradProg() *program.Program {
+	b := program.NewBuilder("srad")
+	rIt := isa.R(1)
+	rR := isa.R(2)
+	rC := isa.R(3)
+	rDm1 := isa.R(4)
+	rT := isa.R(5)
+	rOff := isa.R(6)
+	rNI := isa.R(7)
+	rDim := isa.R(8)
+
+	fJ := isa.F(1)
+	fDN := isa.F(2)
+	fDS := isa.F(3)
+	fDW := isa.F(4)
+	fDE := isa.F(5)
+	fG2 := isa.F(6)
+	fL := isa.F(7)
+	fNum := isa.F(8)
+	fDen := isa.F(9)
+	fQ := isa.F(10)
+	fCv := isa.F(11)
+	fT := isa.F(12)
+	fOne := isa.F(13)
+	fT2 := isa.F(14)
+	fSumD := isa.F(15)
+
+	b.Li(rNI, srIters)
+	b.Li(rDim, srDim)
+	b.Li(rDm1, srDim-1)
+	b.FLi(fOne, 1.0)
+	b.Li(rIt, 0)
+
+	b.Label("iter")
+	b.Li(rR, 1)
+	b.Label("row")
+	b.Li(rC, 1)
+	b.Label("col")
+	b.Mul(rOff, rR, rDim)
+	b.Add(rOff, rOff, rC)
+	b.Shli(rOff, rOff, 3)
+	b.Add(rT, rOff, isa.R(0))
+	b.FLd(fJ, rT, srImg)
+	b.FLd(fDN, rT, srImg-srDim*8)
+	b.FLd(fDS, rT, srImg+srDim*8)
+	b.FLd(fDW, rT, srImg-8)
+	b.FLd(fDE, rT, srImg+8)
+	b.FSub(fDN, fDN, fJ)
+	b.FSub(fDS, fDS, fJ)
+	b.FSub(fDW, fDW, fJ)
+	b.FSub(fDE, fDE, fJ)
+	// g2 = (dN²+dS²+dW²+dE²)/(j*j)
+	b.FMul(fG2, fDN, fDN)
+	b.FMul(fT, fDS, fDS)
+	b.FAdd(fG2, fG2, fT)
+	b.FMul(fT, fDW, fDW)
+	b.FAdd(fG2, fG2, fT)
+	b.FMul(fT, fDE, fDE)
+	b.FAdd(fG2, fG2, fT)
+	b.FMul(fT, fJ, fJ)
+	b.FDiv(fG2, fG2, fT)
+	// l = (dN+dS+dW+dE)/j ; keep the raw sum for the diffusion step
+	b.FAdd(fSumD, fDN, fDS)
+	b.FAdd(fSumD, fSumD, fDW)
+	b.FAdd(fSumD, fSumD, fDE)
+	b.FDiv(fL, fSumD, fJ)
+	// num = 0.5*g2 - l*l/16
+	b.FLi(fT, 0.5)
+	b.FMul(fNum, fT, fG2)
+	b.FMul(fT, fL, fL)
+	b.FLi(fT2, 16.0)
+	b.FDiv(fT, fT, fT2)
+	b.FSub(fNum, fNum, fT)
+	// den = (1 + l/4)^2
+	b.FLi(fT2, 4.0)
+	b.FDiv(fT, fL, fT2)
+	b.FAdd(fDen, fOne, fT)
+	b.FMul(fDen, fDen, fDen)
+	b.FDiv(fQ, fNum, fDen)
+	// c = 1/(1 + (q-q0)/(q0*(1+q0))), clamped to [0,1]
+	b.FLi(fT, srQ0)
+	b.FSub(fQ, fQ, fT)
+	b.FLi(fT2, srQ0*(1.0+srQ0))
+	b.FDiv(fQ, fQ, fT2)
+	b.FAdd(fQ, fOne, fQ)
+	b.FDiv(fCv, fOne, fQ)
+	b.FLi(fT, 0.0)
+	b.FMax(fCv, fCv, fT)
+	b.FMin(fCv, fCv, fOne)
+	b.Add(rT, rOff, isa.R(0))
+	b.FSt(rT, srC, fCv)
+	// img += 0.25*lambda*c*(dN+dS+dW+dE)
+	b.FMul(fT, fCv, fSumD)
+	b.FLi(fT2, 0.25*srLambda)
+	b.FMul(fT, fT2, fT)
+	b.FAdd(fJ, fJ, fT)
+	b.FSt(rT, srImg, fJ)
+	b.Addi(rC, rC, 1)
+	b.Blt(rC, rDm1, "col")
+	b.Addi(rR, rR, 1)
+	b.Blt(rR, rDm1, "row")
+	b.Addi(rIt, rIt, 1)
+	b.Blt(rIt, rNI, "iter")
+	b.Halt()
+	return b.MustBuild()
+}

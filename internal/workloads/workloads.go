@@ -1,0 +1,101 @@
+// Package workloads re-implements the inner loops of the eleven Rodinia
+// benchmarks the paper evaluates (Table 3) in the dynaspam ISA, each paired
+// with a native Go golden reference.
+//
+// The originals are OpenMP C programs run sequentially at -O3; what matters
+// for DynaSpAM is the dynamic shape of each kernel's inner loops — branch
+// structure (biased loop backedges vs. unbiased data-dependent branches),
+// memory streams and aliasing, and the integer/floating-point mix — so each
+// kernel here preserves that shape at a laptop-simulation scale. Golden
+// references execute the same arithmetic in the same order natively, so a
+// workload's final memory must match the simulator's bit for bit.
+package workloads
+
+import (
+	"fmt"
+
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// Workload is one benchmark instance.
+type Workload struct {
+	// Name is the Rodinia benchmark name; Abbrev the paper's short code.
+	Name   string
+	Abbrev string
+	Domain string
+	// Prog is the kernel in the dynaspam ISA.
+	Prog *program.Program
+	// Init seeds a fresh memory with the kernel's inputs.
+	Init func(m *mem.Memory)
+	// Golden runs the reference implementation against an initialized
+	// memory, producing the expected final state.
+	Golden func(m *mem.Memory)
+	// MaxInsts bounds the dynamic instruction count (deadlock guard).
+	MaxInsts uint64
+}
+
+// NewMemory returns a memory initialized with the workload's inputs.
+func (w *Workload) NewMemory() *mem.Memory {
+	m := mem.New()
+	if w.Init != nil {
+		w.Init(m)
+	}
+	return m
+}
+
+// GoldenMemory returns the expected final memory.
+func (w *Workload) GoldenMemory() *mem.Memory {
+	m := w.NewMemory()
+	w.Golden(m)
+	return m
+}
+
+// All returns the eleven workloads in the paper's Table 3 order.
+func All() []*Workload {
+	return []*Workload{
+		BackProp(),
+		BFS(),
+		BTree(),
+		Hotspot(),
+		Kmeans(),
+		LUD(),
+		KNN(),
+		NW(),
+		PathFinder(),
+		ParticleFilter(),
+		SRAD(),
+	}
+}
+
+// ByAbbrev returns the workload with the given short code, or an error.
+func ByAbbrev(abbrev string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Abbrev == abbrev {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", abbrev)
+}
+
+// lcg is the shared deterministic pseudo-random generator used by input
+// initializers (identical in golden and ISA versions where the kernel
+// itself needs randomness).
+type lcg struct{ state uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{state: seed} }
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state
+}
+
+// intn returns a value in [0, n).
+func (l *lcg) intn(n int64) int64 {
+	return int64(l.next()>>33) % n
+}
+
+// float01 returns a value in [0, 1).
+func (l *lcg) float01() float64 {
+	return float64(l.next()>>11) / float64(1<<53)
+}
