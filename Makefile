@@ -1,0 +1,35 @@
+# Build/verify targets for the dynaspam reproduction. Everything is plain
+# `go` — no external tools — so each target also works as a bare command.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke bench figures check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel sweep engine makes data-race freedom a correctness property;
+# run the whole suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark (each regenerates a paper figure) as a
+# smoke test; full statistics come from `make bench`.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+figures:
+	$(GO) run ./cmd/figures
+
+check: build vet test race

@@ -14,10 +14,14 @@
 //	BenchmarkTable6Area           — Table 6  (area model)
 //	BenchmarkAblationNaiveMapper  — §2.2     (naive vs resource-aware mapping)
 //	BenchmarkBaselinePipeline     — host-pipeline simulation throughput
+//	BenchmarkParallelSweep        — Figure 8 sweep at 1..N workers (the
+//	                                internal/runner speedup measurement)
 package dynaspam_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -26,6 +30,7 @@ import (
 	"dynaspam/internal/experiments"
 	"dynaspam/internal/fabric"
 	"dynaspam/internal/mapper"
+	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
 )
@@ -100,7 +105,10 @@ func BenchmarkFig8Speedup(b *testing.B) {
 			for _, r := range rows {
 				tb.AddRowf(r.Workload, r.MappingOnly, r.AccelNoSpec, r.AccelSpec)
 			}
-			m, n, s := experiments.GeomeanSpeedups(rows)
+			m, n, s, err := experiments.GeomeanSpeedups(rows)
+			if err != nil {
+				b.Fatal(err)
+			}
 			tb.AddRowf("GEOMEAN", m, n, s)
 			once(b, tb.String())
 			b.ReportMetric(s, "geomean-speedup")
@@ -125,7 +133,11 @@ func BenchmarkFig9Energy(b *testing.B) {
 					stats.Pct(r.Reduction))
 			}
 			once(b, tb.String())
-			b.ReportMetric(100*experiments.GeomeanEnergyReduction(rows), "geomean-reduction%")
+			red, err := experiments.GeomeanEnergyReduction(rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*red, "geomean-reduction%")
 		}
 	}
 }
@@ -143,27 +155,20 @@ func BenchmarkTable6Area(b *testing.B) {
 
 func BenchmarkAblationNaiveMapper(b *testing.B) {
 	ws := workloads.All()
-	g := fabric.DefaultGeometry()
 	for i := 0; i < b.N; i++ {
-		tb := stats.NewTable("Bench", "Traces", "Naive ok", "Aware ok")
-		totalTraces, naiveTotal, awareTotal := 0, 0, 0
-		for _, w := range ws {
-			traces := experiments.SampleTraces(w, 32)
-			naiveOK, awareOK := 0, 0
-			for _, tr := range traces {
-				if _, err := mapper.MapNaive(tr, g, 0, len(tr)); err == nil {
-					naiveOK++
-				}
-				if _, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
-					awareOK++
-				}
-			}
-			totalTraces += len(traces)
-			naiveTotal += naiveOK
-			awareTotal += awareOK
-			tb.AddRow(w.Abbrev, fmt.Sprint(len(traces)), fmt.Sprint(naiveOK), fmt.Sprint(awareOK))
+		rows, err := experiments.Ablation(ws, 32)
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
+			tb := stats.NewTable("Bench", "Traces", "Naive ok", "Aware ok")
+			totalTraces, naiveTotal, awareTotal := 0, 0, 0
+			for _, r := range rows {
+				totalTraces += r.Traces
+				naiveTotal += r.NaiveOK
+				awareTotal += r.AwareOK
+				tb.AddRow(r.Workload, fmt.Sprint(r.Traces), fmt.Sprint(r.NaiveOK), fmt.Sprint(r.AwareOK))
+			}
 			once(b, tb.String())
 			b.ReportMetric(100*float64(naiveTotal)/float64(totalTraces), "naive-ok%")
 			b.ReportMetric(100*float64(awareTotal)/float64(totalTraces), "aware-ok%")
@@ -219,4 +224,38 @@ func BenchmarkBaselinePipeline(b *testing.B) {
 		cycles += r.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkParallelSweep measures the wall-clock effect of fanning the
+// Figure 8 sweep (11 workloads × 4 modes = 44 independent simulations) out
+// across internal/runner workers. Compare the j1 and jN sub-benchmark times:
+// on a machine with ≥4 cores, jN should be at least 2× faster than j1. Every
+// worker count must produce byte-identical rows; the benchmark fails if any
+// diverges from the serial reference.
+func BenchmarkParallelSweep(b *testing.B) {
+	ws := workloads.All()
+	ref, err := experiments.Fig8Sweep(context.Background(), ws, runner.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	refStr := fmt.Sprintf("%+v", ref)
+
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, j := range counts {
+		j := j
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig8Sweep(context.Background(), ws, runner.Options{Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := fmt.Sprintf("%+v", rows); got != refStr {
+					b.Fatalf("rows with %d workers differ from serial reference:\n got %s\nwant %s", j, got, refStr)
+				}
+			}
+		})
+	}
 }

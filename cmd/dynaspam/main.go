@@ -1,31 +1,45 @@
-// Command dynaspam runs one benchmark under a chosen DynaSpAM configuration
-// and prints the run's statistics.
+// Command dynaspam runs one or more benchmarks under a chosen DynaSpAM
+// configuration and prints the runs' statistics.
 //
 // Usage:
 //
 //	dynaspam -bench KM -mode accel-spec -tracelen 32 -fabrics 1
+//	dynaspam -bench BP,NW,PF -j 4         # parallel sweep, compact table
+//	dynaspam -bench all -journal runs.jsonl
 //	dynaspam -list
+//
+// A single benchmark prints the full statistics and energy breakdown; a
+// comma-separated list (or "all") fans the simulations out across -j
+// workers and prints one summary row per benchmark. With -journal, every
+// simulation appends one JSON line (wall time, cycles, IPC, counters,
+// verification status) to the given file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dynaspam/internal/core"
 	"dynaspam/internal/energy"
 	"dynaspam/internal/experiments"
+	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "PF", "benchmark abbreviation (see -list)")
-		modeName  = flag.String("mode", "accel-spec", "baseline | mapping | accel-nospec | accel-spec")
-		traceLen  = flag.Int("tracelen", 32, "trace length cap in instructions")
-		fabrics   = flag.Int("fabrics", 1, "number of physical fabrics")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
+		benchName   = flag.String("bench", "PF", `benchmark abbreviation, comma-separated list, or "all" (see -list)`)
+		modeName    = flag.String("mode", "accel-spec", "baseline | mapping | accel-nospec | accel-spec")
+		traceLen    = flag.Int("tracelen", 32, "trace length cap in instructions")
+		fabrics     = flag.Int("fabrics", 1, "number of physical fabrics")
+		parallelism = flag.Int("j", 0, "parallel simulations for multi-benchmark sweeps (0 = GOMAXPROCS)")
+		journalPath = flag.String("journal", "", "write a JSON-lines run journal to this file")
+		progress    = flag.Bool("progress", false, "report live sweep progress on stderr")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 
@@ -53,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	w, err := workloads.ByAbbrev(*benchName)
+	ws, err := selectWorkloads(*benchName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -64,12 +78,85 @@ func main() {
 	params.TraceLen = *traceLen
 	params.NumFabrics = *fabrics
 
-	res, err := experiments.Run(w, params)
+	opts := runner.Options{Parallelism: *parallelism, Name: "dynaspam"}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	if *journalPath != "" {
+		j, err := runner.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Journal = j
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+			}
+		}()
+	}
+
+	// Every cell is independent, so even the single-benchmark case goes
+	// through the runner: journaling and progress behave identically.
+	var jobs []runner.Job[*experiments.RunResult]
+	for _, w := range ws {
+		w := w
+		jobs = append(jobs, runner.Job[*experiments.RunResult]{
+			Label: fmt.Sprintf("%s/%v", w.Abbrev, mode),
+			Run: func(ctx context.Context) (*experiments.RunResult, error) {
+				return experiments.RunCtx(ctx, w, params)
+			},
+		})
+	}
+	results, err := runner.Run(context.Background(), opts, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if opts.Journal != nil {
+			opts.Journal.Close()
+		}
 		os.Exit(1)
 	}
 
+	if len(ws) == 1 {
+		printDetailed(ws[0], mode, results[0])
+		return
+	}
+	printSummary(mode, results)
+}
+
+// selectWorkloads resolves -bench: one abbreviation, a comma-separated
+// list, or "all".
+func selectWorkloads(spec string) ([]*workloads.Workload, error) {
+	if strings.EqualFold(spec, "all") {
+		return workloads.All(), nil
+	}
+	var ws []*workloads.Workload
+	for _, ab := range strings.Split(spec, ",") {
+		w, err := workloads.ByAbbrev(strings.TrimSpace(ab))
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// printSummary renders one row per benchmark of a multi-benchmark sweep.
+func printSummary(mode core.Mode, results []*experiments.RunResult) {
+	fmt.Printf("%d benchmarks under %v\n\n", len(results), mode)
+	tb := stats.NewTable("Bench", "Cycles", "Insts", "IPC", "Fabric", "Mapped", "Offloaded", "Energy pJ")
+	for _, r := range results {
+		tb.AddRow(r.Workload,
+			fmt.Sprint(r.Cycles), fmt.Sprint(r.Committed), fmt.Sprintf("%.2f", r.IPC),
+			stats.Pct(float64(r.FabricOps)/float64(r.Committed)),
+			fmt.Sprint(r.MappedTraces), fmt.Sprint(r.OffloadedTraces),
+			fmt.Sprintf("%.0f", r.Energy.Total()))
+	}
+	fmt.Print(tb.String())
+}
+
+// printDetailed renders the full single-benchmark statistics view.
+func printDetailed(w *workloads.Workload, mode core.Mode, res *experiments.RunResult) {
 	fmt.Printf("%s (%s) under %v\n\n", w.Name, w.Abbrev, mode)
 	tb := stats.NewTable("Metric", "Value")
 	tb.AddRowf("cycles", fmt.Sprintf("%d", res.Cycles))

@@ -8,9 +8,18 @@
 //	figures -fig 9     # Figure 9  (energy breakdown)
 //	figures -fig t6    # Table 6   (area)
 //	figures -fig ablation  # §2.2 naive vs resource-aware mapping
+//
+// Sweeps fan their independent (workload, configuration) cells out across
+// workers; results are deterministic at any worker count:
+//
+//	figures -j 8                      # 8 workers (default: GOMAXPROCS)
+//	figures -j 1                      # serial, identical output
+//	figures -journal runs.jsonl       # one JSON line per simulation
+//	figures -progress                 # live "N/M runs done, ETA" on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,33 +28,57 @@ import (
 	"dynaspam/internal/energy"
 	"dynaspam/internal/experiments"
 	"dynaspam/internal/fabric"
-	"dynaspam/internal/mapper"
+	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table: 7, t5, 8, 9, t6, ablation, all")
+	var (
+		fig         = flag.String("fig", "all", "which figure/table: 7, t5, 8, 9, t6, ablation, all")
+		parallelism = flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
+		journalPath = flag.String("journal", "", "write a JSON-lines run journal to this file")
+		progress    = flag.Bool("progress", false, "report live sweep progress on stderr")
+	)
 	flag.Parse()
 
+	opts := runner.Options{Parallelism: *parallelism}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	if *journalPath != "" {
+		j, err := runner.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Journal = j
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+			}
+		}()
+	}
+
+	ctx := context.Background()
 	ws := workloads.All()
 	var err error
 	switch *fig {
 	case "7":
-		err = fig7(ws)
+		err = fig7(ctx, ws, opts)
 	case "t5":
-		err = table5(ws)
+		err = table5(ctx, ws, opts)
 	case "8":
-		err = fig8(ws)
+		err = fig8(ctx, ws, opts)
 	case "9":
-		err = fig9(ws)
+		err = fig9(ctx, ws, opts)
 	case "t6":
 		table6()
 	case "ablation":
-		err = ablation(ws)
+		err = ablation(ctx, ws, opts)
 	case "all":
-		for _, f := range []func([]*workloads.Workload) error{fig7, table5, fig8, fig9} {
-			if err = f(ws); err != nil {
+		for _, f := range []func(context.Context, []*workloads.Workload, runner.Options) error{fig7, table5, fig8, fig9} {
+			if err = f(ctx, ws, opts); err != nil {
 				break
 			}
 			fmt.Println()
@@ -53,7 +86,7 @@ func main() {
 		if err == nil {
 			table6()
 			fmt.Println()
-			err = ablation(ws)
+			err = ablation(ctx, ws, opts)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
@@ -61,14 +94,17 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if opts.Journal != nil {
+			opts.Journal.Close()
+		}
 		os.Exit(1)
 	}
 }
 
-func fig7(ws []*workloads.Workload) error {
+func fig7(ctx context.Context, ws []*workloads.Workload, opts runner.Options) error {
 	fmt.Println("=== Figure 7: dynamic instruction placement vs trace length ===")
 	lens := []int{16, 24, 32, 40}
-	rows, err := experiments.Fig7(ws, lens)
+	rows, err := experiments.Fig7Sweep(ctx, ws, lens, opts)
 	if err != nil {
 		return err
 	}
@@ -81,10 +117,10 @@ func fig7(ws []*workloads.Workload) error {
 	return nil
 }
 
-func table5(ws []*workloads.Workload) error {
+func table5(ctx context.Context, ws []*workloads.Workload, opts runner.Options) error {
 	fmt.Println("=== Table 5: detected traces and configuration lifetimes ===")
 	counts := []int{1, 2, 4}
-	rows, err := experiments.Table5(ws, counts)
+	rows, err := experiments.Table5Sweep(ctx, ws, counts, opts)
 	if err != nil {
 		return err
 	}
@@ -101,7 +137,7 @@ func table5(ws []*workloads.Workload) error {
 	if err != nil {
 		return err
 	}
-	r8, err := experiments.Table5([]*workloads.Workload{bfs}, []int{8})
+	r8, err := experiments.Table5Sweep(ctx, []*workloads.Workload{bfs}, []int{8}, opts)
 	if err != nil {
 		return err
 	}
@@ -109,9 +145,9 @@ func table5(ws []*workloads.Workload) error {
 	return nil
 }
 
-func fig8(ws []*workloads.Workload) error {
+func fig8(ctx context.Context, ws []*workloads.Workload, opts runner.Options) error {
 	fmt.Println("=== Figure 8: speedup vs host OOO pipeline ===")
-	rows, err := experiments.Fig8(ws)
+	rows, err := experiments.Fig8Sweep(ctx, ws, opts)
 	if err != nil {
 		return err
 	}
@@ -119,23 +155,22 @@ func fig8(ws []*workloads.Workload) error {
 	for _, r := range rows {
 		tb.AddRowf(r.Workload, r.MappingOnly, r.AccelNoSpec, r.AccelSpec)
 	}
-	m, n, s := experiments.GeomeanSpeedups(rows)
+	m, n, s, err := experiments.GeomeanSpeedups(rows)
+	if err != nil {
+		return err
+	}
 	tb.AddRowf("GEOMEAN", m, n, s)
 	fmt.Print(tb.String())
 	return nil
 }
 
-func fig9(ws []*workloads.Workload) error {
+func fig9(ctx context.Context, ws []*workloads.Workload, opts runner.Options) error {
 	fmt.Println("=== Figure 9: energy by component (baseline -> DynaSpAM) ===")
-	rows, err := experiments.Fig9(ws)
+	rows, err := experiments.Fig9Sweep(ctx, ws, opts)
 	if err != nil {
 		return err
 	}
 	tb := stats.NewTable("Bench", "Fetch", "Rename", "InstSched", "Exec", "Datapath", "Memory", "Fabric", "Reduction")
-	rel := func(r experiments.Fig9Row, c energy.Component) string {
-		return fmt.Sprintf("%.2f", stats.Ratio(r.DynaSpAM[c], r.Baseline.Total())*100) + "%"
-	}
-	_ = rel
 	for _, r := range rows {
 		cell := func(c energy.Component) string {
 			return fmt.Sprintf("%.0f->%.0f", r.Baseline[c]/1000, r.DynaSpAM[c]/1000)
@@ -145,7 +180,11 @@ func fig9(ws []*workloads.Workload) error {
 			stats.Pct(r.Reduction))
 	}
 	fmt.Print(tb.String())
-	fmt.Printf("Geomean energy reduction: %s\n", stats.Pct(experiments.GeomeanEnergyReduction(rows)))
+	red, err := experiments.GeomeanEnergyReduction(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Geomean energy reduction: %s\n", stats.Pct(red))
 	return nil
 }
 
@@ -157,27 +196,17 @@ func table6() {
 // ablation reproduces §2.2 / Figure 2: the naive program-order mapper
 // against the resource-aware mapper on every hot trace shape the workloads
 // produce, measuring feasibility and routing cost.
-func ablation(ws []*workloads.Workload) error {
+func ablation(ctx context.Context, ws []*workloads.Workload, opts runner.Options) error {
 	fmt.Println("=== Ablation: naive vs resource-aware mapping (§2.2, Figure 2) ===")
-	g := fabric.DefaultGeometry()
+	rows, err := experiments.AblationSweep(ctx, ws, 32, opts)
+	if err != nil {
+		return err
+	}
 	tb := stats.NewTable("Bench", "Traces", "Naive ok", "Aware ok", "Naive slots", "Aware slots")
-	for _, w := range ws {
-		traces := experiments.SampleTraces(w, 32)
-		naiveOK, awareOK := 0, 0
-		naiveSlots, awareSlots := 0, 0
-		for _, tr := range traces {
-			if cfg, err := mapper.MapNaive(tr, g, 0, len(tr)); err == nil {
-				naiveOK++
-				naiveSlots += cfg.DatapathSlots
-			}
-			if cfg, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
-				awareOK++
-				awareSlots += cfg.DatapathSlots
-			}
-		}
-		tb.AddRow(w.Abbrev, fmt.Sprint(len(traces)),
-			fmt.Sprint(naiveOK), fmt.Sprint(awareOK),
-			fmt.Sprint(naiveSlots), fmt.Sprint(awareSlots))
+	for _, r := range rows {
+		tb.AddRow(r.Workload, fmt.Sprint(r.Traces),
+			fmt.Sprint(r.NaiveOK), fmt.Sprint(r.AwareOK),
+			fmt.Sprint(r.NaiveSlots), fmt.Sprint(r.AwareSlots))
 	}
 	fmt.Print(tb.String())
 	return nil

@@ -43,7 +43,11 @@ func main() {
 		fmt.Print(tb.String())
 		fmt.Println()
 	}
-	fmt.Printf("geomean energy reduction: %s\n\n", stats.Pct(experiments.GeomeanEnergyReduction(rows)))
+	red, err := experiments.GeomeanEnergyReduction(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("geomean energy reduction: %s\n\n", stats.Pct(red))
 
 	fmt.Println("silicon cost of the fabric (Table 6):")
 	fmt.Print(area.Report(fabric.DefaultGeometry()))

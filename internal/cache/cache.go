@@ -38,6 +38,8 @@ func (s Stats) MissRate() float64 {
 }
 
 // Cache is one level of set-associative cache with true-LRU replacement.
+// A Cache is not safe for concurrent use, but distinct Caches share no
+// state, so independent simulations can run in parallel.
 type Cache struct {
 	cfg      Config
 	sets     int
@@ -45,6 +47,7 @@ type Cache struct {
 	setMask  uint64
 	lines    []line // sets × assoc
 	stats    Stats
+	lruClock uint64 // per-cache recency counter; see access
 }
 
 type line struct {
@@ -87,21 +90,22 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears the counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-var lruClock uint64
-
 // access looks addr up, updating LRU state. Returns hit, and whether a dirty
-// block was evicted to make room (on miss fill).
+// block was evicted to make room (on miss fill). The recency clock is a
+// field of the cache (not a package global) so concurrent simulations never
+// share mutable state; within one cache the clock ticks once per access,
+// which is all true-LRU needs.
 func (c *Cache) access(addr uint64, write bool) (hit, dirtyEvict bool) {
 	c.stats.Accesses++
 	set := (addr >> c.setShift) & c.setMask
 	tag := addr >> c.setShift >> uint64(bitsFor(c.sets))
 	base := int(set) * c.cfg.Assoc
-	lruClock++
+	c.lruClock++
 	// Hit?
 	for i := 0; i < c.cfg.Assoc; i++ {
 		l := &c.lines[base+i]
 		if l.valid && l.tag == tag {
-			l.lru = lruClock
+			l.lru = c.lruClock
 			if write {
 				l.dirty = true
 			}
@@ -129,7 +133,7 @@ func (c *Cache) access(addr uint64, write bool) (hit, dirtyEvict bool) {
 			dirtyEvict = true
 		}
 	}
-	*v = line{valid: true, dirty: write, tag: tag, lru: lruClock}
+	*v = line{valid: true, dirty: write, tag: tag, lru: c.lruClock}
 	return false, dirtyEvict
 }
 

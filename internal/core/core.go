@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dynaspam/internal/cfgcache"
@@ -220,6 +221,13 @@ func (s *System) OffloadedTraces() int { return len(s.offloadedKeys) }
 // Run simulates until the program halts.
 func (s *System) Run() error {
 	return s.cpu.Run()
+}
+
+// RunCtx simulates until the program halts or ctx is cancelled, whichever
+// comes first. Parallel sweeps use it so one failing cell can stop the
+// others mid-simulation.
+func (s *System) RunCtx(ctx context.Context) error {
+	return s.cpu.RunCtx(ctx)
 }
 
 // hooks wires the framework into the pipeline.

@@ -8,15 +8,26 @@
 // Every run validates the simulated machine's final memory against the
 // workload's golden reference before reporting numbers, so a performance
 // result can never come from a functionally wrong execution.
+//
+// Each sweep exists in two forms. The plain form (Fig7, Table5, Fig8, Fig9,
+// Ablation) runs with default options; the Sweep form (Fig7Sweep, ...)
+// additionally takes a context and runner.Options, letting callers pick the
+// worker count, attach a JSON-lines run journal, and stream progress. Every
+// (workload, configuration) cell is an independent simulation — it builds
+// its own memory image and core.System — so sweeps fan cells out across
+// workers via internal/runner and reassemble rows in input order: the
+// rendered output is byte-identical at any parallelism.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dynaspam/internal/core"
 	"dynaspam/internal/energy"
 	"dynaspam/internal/fabric"
 	"dynaspam/internal/ooo"
+	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
 )
@@ -49,13 +60,43 @@ type RunResult struct {
 	Fabric fabric.Stats
 }
 
+// JournalMetrics implements runner.Metricser: the domain measurements
+// attached to this run's journal entry. A result only exists after the
+// golden-memory check passed, so verified is always 1 here; failed runs
+// journal as status "error" with no metrics.
+func (r *RunResult) JournalMetrics() map[string]float64 {
+	return map[string]float64{
+		"cycles":             float64(r.Cycles),
+		"committed":          float64(r.Committed),
+		"ipc":                r.IPC,
+		"host_ops":           float64(r.HostOps),
+		"mapped_ops":         float64(r.MappedOps),
+		"fabric_ops":         float64(r.FabricOps),
+		"mapped_traces":      float64(r.MappedTraces),
+		"offloaded_traces":   float64(r.OffloadedTraces),
+		"avg_config_life":    r.AvgConfigLife,
+		"reconfigs":          float64(r.Reconfigs),
+		"fabric_invocations": float64(r.Fabric.Invocations),
+		"trace_squashes":     float64(r.Core.TraceSquashes),
+		"energy_pj":          r.Energy.Total(),
+		"verified":           1,
+	}
+}
+
 // Run simulates workload w under params, verifies architectural correctness
 // against the golden reference, and gathers every statistic the figures
 // need.
 func Run(w *workloads.Workload, params core.Params) (*RunResult, error) {
+	return RunCtx(context.Background(), w, params)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation aborts early
+// once ctx is done, which parallel sweeps use to stop in-flight cells after
+// another cell fails.
+func RunCtx(ctx context.Context, w *workloads.Workload, params core.Params) (*RunResult, error) {
 	m := w.NewMemory()
 	sys := core.New(params, w.Prog, m)
-	if err := sys.Run(); err != nil {
+	if err := sys.RunCtx(ctx); err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Abbrev, params.Mode, err)
 	}
 	if err := sys.Verify(); err != nil {
@@ -124,6 +165,24 @@ func params(mode core.Mode) core.Params {
 	return p
 }
 
+// runJob wraps one simulation cell as a runner job.
+func runJob(w *workloads.Workload, p core.Params, label string) runner.Job[*RunResult] {
+	return runner.Job[*RunResult]{
+		Label: label,
+		Run: func(ctx context.Context) (*RunResult, error) {
+			return RunCtx(ctx, w, p)
+		},
+	}
+}
+
+// named fills in a default sweep name for journal/progress output.
+func named(opts runner.Options, name string) runner.Options {
+	if opts.Name == "" {
+		opts.Name = name
+	}
+	return opts
+}
+
 // Fig7Row is one (workload, trace length) coverage measurement.
 type Fig7Row struct {
 	Workload  string
@@ -137,15 +196,28 @@ type Fig7Row struct {
 // instructions executed on the host pipeline, during mapping, and on the
 // fabric (paper Figure 7; lengths 16–40).
 func Fig7(ws []*workloads.Workload, traceLens []int) ([]Fig7Row, error) {
-	var rows []Fig7Row
+	return Fig7Sweep(context.Background(), ws, traceLens, runner.Options{})
+}
+
+// Fig7Sweep is Fig7 with explicit sweep options: one cell per
+// (workload, trace length), fanned out across opts.Parallelism workers.
+func Fig7Sweep(ctx context.Context, ws []*workloads.Workload, traceLens []int, opts runner.Options) ([]Fig7Row, error) {
+	var jobs []runner.Job[*RunResult]
 	for _, w := range ws {
 		for _, tl := range traceLens {
 			p := params(core.ModeAccel)
 			p.TraceLen = tl
-			r, err := Run(w, p)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runJob(w, p, fmt.Sprintf("%s/len=%d", w.Abbrev, tl)))
+		}
+	}
+	results, err := runner.Run(ctx, named(opts, "fig7"), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for i, w := range ws {
+		for j, tl := range traceLens {
+			r := results[i*len(traceLens)+j]
 			total := float64(r.Committed)
 			rows = append(rows, Fig7Row{
 				Workload:  w.Abbrev,
@@ -172,18 +244,31 @@ type Table5Row struct {
 // Table5 reports detected/offloaded traces and average configuration
 // lifetime for each fabric count (paper Table 5: 1, 2, 4 fabrics).
 func Table5(ws []*workloads.Workload, fabricCounts []int) ([]Table5Row, error) {
-	var rows []Table5Row
+	return Table5Sweep(context.Background(), ws, fabricCounts, runner.Options{})
+}
+
+// Table5Sweep is Table5 with explicit sweep options: one cell per
+// (workload, fabric count).
+func Table5Sweep(ctx context.Context, ws []*workloads.Workload, fabricCounts []int, opts runner.Options) ([]Table5Row, error) {
+	var jobs []runner.Job[*RunResult]
 	for _, w := range ws {
-		row := Table5Row{Workload: w.Abbrev}
 		for _, nf := range fabricCounts {
 			p := params(core.ModeAccel)
 			p.NumFabrics = nf
-			r, err := Run(w, p)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runJob(w, p, fmt.Sprintf("%s/fabrics=%d", w.Abbrev, nf)))
+		}
+	}
+	results, err := runner.Run(ctx, named(opts, "table5"), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table5Row
+	for i, w := range ws {
+		row := Table5Row{Workload: w.Abbrev}
+		for j := range fabricCounts {
+			r := results[i*len(fabricCounts)+j]
 			row.Lifetime = append(row.Lifetime, r.AvgConfigLife)
-			if nf == fabricCounts[0] {
+			if j == 0 {
 				row.Mapped = r.MappedTraces
 				row.Offloaded = r.OffloadedTraces
 			}
@@ -192,6 +277,10 @@ func Table5(ws []*workloads.Workload, fabricCounts []int) ([]Table5Row, error) {
 	}
 	return rows, nil
 }
+
+// fig8Modes are the four simulations behind each Figure 8 row, in cell
+// order: baseline first, then the three DynaSpAM configurations.
+var fig8Modes = []core.Mode{core.ModeBaseline, core.ModeMappingOnly, core.ModeAccelNoSpec, core.ModeAccel}
 
 // Fig8Row is one workload's speedups over the baseline.
 type Fig8Row struct {
@@ -206,24 +295,25 @@ type Fig8Row struct {
 // Fig8 runs each workload in the four modes and reports speedups over the
 // host OOO pipeline (paper Figure 8).
 func Fig8(ws []*workloads.Workload) ([]Fig8Row, error) {
-	var rows []Fig8Row
+	return Fig8Sweep(context.Background(), ws, runner.Options{})
+}
+
+// Fig8Sweep is Fig8 with explicit sweep options: one cell per
+// (workload, mode), four cells per row.
+func Fig8Sweep(ctx context.Context, ws []*workloads.Workload, opts runner.Options) ([]Fig8Row, error) {
+	var jobs []runner.Job[*RunResult]
 	for _, w := range ws {
-		base, err := Run(w, params(core.ModeBaseline))
-		if err != nil {
-			return nil, err
+		for _, mode := range fig8Modes {
+			jobs = append(jobs, runJob(w, params(mode), fmt.Sprintf("%s/%v", w.Abbrev, mode)))
 		}
-		mapping, err := Run(w, params(core.ModeMappingOnly))
-		if err != nil {
-			return nil, err
-		}
-		nospec, err := Run(w, params(core.ModeAccelNoSpec))
-		if err != nil {
-			return nil, err
-		}
-		spec, err := Run(w, params(core.ModeAccel))
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runner.Run(ctx, named(opts, "fig8"), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for i, w := range ws {
+		base, mapping, nospec, spec := results[4*i], results[4*i+1], results[4*i+2], results[4*i+3]
 		rows = append(rows, Fig8Row{
 			Workload:    w.Abbrev,
 			MappingOnly: stats.Ratio(float64(base.Cycles), float64(mapping.Cycles)),
@@ -237,15 +327,29 @@ func Fig8(ws []*workloads.Workload) ([]Fig8Row, error) {
 }
 
 // GeomeanSpeedups returns the geometric means of the three speedup columns.
-func GeomeanSpeedups(rows []Fig8Row) (mapping, nospec, spec float64) {
+// A non-positive speedup (a degenerate run) is reported as an error rather
+// than crashing the sweep.
+func GeomeanSpeedups(rows []Fig8Row) (mapping, nospec, spec float64, err error) {
 	var a, b, c []float64
 	for _, r := range rows {
 		a = append(a, r.MappingOnly)
 		b = append(b, r.AccelNoSpec)
 		c = append(c, r.AccelSpec)
 	}
-	return stats.Geomean(a), stats.Geomean(b), stats.Geomean(c)
+	if mapping, err = stats.GeomeanErr(a); err != nil {
+		return 0, 0, 0, fmt.Errorf("fig8 mapping-only column: %w", err)
+	}
+	if nospec, err = stats.GeomeanErr(b); err != nil {
+		return 0, 0, 0, fmt.Errorf("fig8 accel-nospec column: %w", err)
+	}
+	if spec, err = stats.GeomeanErr(c); err != nil {
+		return 0, 0, 0, fmt.Errorf("fig8 accel-spec column: %w", err)
+	}
+	return mapping, nospec, spec, nil
 }
+
+// fig9Modes are the two simulations behind each Figure 9 row.
+var fig9Modes = []core.Mode{core.ModeBaseline, core.ModeAccel}
 
 // Fig9Row is one workload's energy comparison.
 type Fig9Row struct {
@@ -259,16 +363,25 @@ type Fig9Row struct {
 // Fig9 reports per-component energy for the baseline and full DynaSpAM
 // (paper Figure 9).
 func Fig9(ws []*workloads.Workload) ([]Fig9Row, error) {
-	var rows []Fig9Row
+	return Fig9Sweep(context.Background(), ws, runner.Options{})
+}
+
+// Fig9Sweep is Fig9 with explicit sweep options: one cell per
+// (workload, mode), two cells per row.
+func Fig9Sweep(ctx context.Context, ws []*workloads.Workload, opts runner.Options) ([]Fig9Row, error) {
+	var jobs []runner.Job[*RunResult]
 	for _, w := range ws {
-		base, err := Run(w, params(core.ModeBaseline))
-		if err != nil {
-			return nil, err
+		for _, mode := range fig9Modes {
+			jobs = append(jobs, runJob(w, params(mode), fmt.Sprintf("%s/%v", w.Abbrev, mode)))
 		}
-		accel, err := Run(w, params(core.ModeAccel))
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runner.Run(ctx, named(opts, "fig9"), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for i, w := range ws {
+		base, accel := results[2*i], results[2*i+1]
 		rows = append(rows, Fig9Row{
 			Workload:  w.Abbrev,
 			Baseline:  base.Energy,
@@ -280,11 +393,16 @@ func Fig9(ws []*workloads.Workload) ([]Fig9Row, error) {
 }
 
 // GeomeanEnergyReduction returns the geometric-mean relative energy
-// (accel/baseline), expressed as a reduction.
-func GeomeanEnergyReduction(rows []Fig9Row) float64 {
+// (accel/baseline), expressed as a reduction. A non-positive ratio (a
+// degenerate energy measurement) is reported as an error.
+func GeomeanEnergyReduction(rows []Fig9Row) (float64, error) {
 	var ratios []float64
 	for _, r := range rows {
 		ratios = append(ratios, r.DynaSpAM.Total()/r.Baseline.Total())
 	}
-	return 1 - stats.Geomean(ratios)
+	g, err := stats.GeomeanErr(ratios)
+	if err != nil {
+		return 0, fmt.Errorf("fig9 energy ratios: %w", err)
+	}
+	return 1 - g, nil
 }

@@ -106,7 +106,10 @@ func TestFig8SpeedupShape(t *testing.T) {
 			t.Errorf("%s: mapping-only speedup %v (overhead > 10%%)", r.Workload, r.MappingOnly)
 		}
 	}
-	m, n, s := GeomeanSpeedups(rows)
+	m, n, s, err := GeomeanSpeedups(rows)
+	if err != nil {
+		t.Fatalf("GeomeanSpeedups: %v", err)
+	}
 	if m <= 0 || n <= 0 || s <= 0 {
 		t.Fatalf("degenerate geomeans %v %v %v", m, n, s)
 	}
@@ -135,7 +138,10 @@ func TestFig9EnergyShape(t *testing.T) {
 			t.Errorf("%s: baseline charged fabric energy", r.Workload)
 		}
 	}
-	red := GeomeanEnergyReduction(rows)
+	red, err := GeomeanEnergyReduction(rows)
+	if err != nil {
+		t.Fatalf("GeomeanEnergyReduction: %v", err)
+	}
 	if red <= 0 {
 		t.Errorf("geomean energy reduction %v, want positive", red)
 	}
@@ -146,9 +152,18 @@ func TestGeomeanHelpers(t *testing.T) {
 		{MappingOnly: 1, AccelNoSpec: 2, AccelSpec: 4},
 		{MappingOnly: 1, AccelNoSpec: 2, AccelSpec: 4},
 	}
-	m, n, s := GeomeanSpeedups(rows)
-	if m != 1 || n != 2 || s != 4 {
-		t.Errorf("GeomeanSpeedups = %v %v %v", m, n, s)
+	m, n, s, err := GeomeanSpeedups(rows)
+	if err != nil || m != 1 || n != 2 || s != 4 {
+		t.Errorf("GeomeanSpeedups = %v %v %v (%v)", m, n, s, err)
+	}
+	// A degenerate (zero) speedup must surface as an error, not a panic
+	// that would kill a 40-cell sweep mid-flight.
+	bad := append(rows, Fig8Row{MappingOnly: 1, AccelNoSpec: 2, AccelSpec: 0})
+	if _, _, _, err := GeomeanSpeedups(bad); err == nil {
+		t.Error("GeomeanSpeedups accepted a non-positive speedup")
+	}
+	if _, err := GeomeanEnergyReduction([]Fig9Row{{}}); err == nil {
+		t.Error("GeomeanEnergyReduction accepted a degenerate ratio")
 	}
 	_ = stats.Geomean // keep the import honest if assertions change
 }

@@ -3,6 +3,13 @@
 // the golden model: the out-of-order simulator and the spatial fabric must
 // produce exactly the same architectural state (registers, memory, dynamic
 // branch outcomes) for every program.
+//
+// Beyond verification, the interpreter doubles as the cheap dynamic
+// profiler behind the evaluation: with TraceBranches enabled it records the
+// full branch outcome stream, which experiments.SampleTraces replays to
+// extract every hot trace shape a workload produces (the §2.2 mapping
+// ablation is built on this). An Interp is self-contained — one memory, one
+// register file, no globals — so many can run concurrently.
 package interp
 
 import (

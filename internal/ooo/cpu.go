@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -248,6 +249,15 @@ func (c *CPU) DebugState() string {
 // the cycle budget is exhausted, which indicates a deadlock bug rather than
 // a program property.
 func (c *CPU) Run() error {
+	return c.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation polls ctx
+// every few thousand cycles and aborts with ctx's error once it is done.
+// The poll granularity (8192 cycles, well under a millisecond of host time)
+// keeps the check off the per-cycle hot path while letting a parallel sweep
+// cancel in-flight simulations promptly.
+func (c *CPU) RunCtx(ctx context.Context) error {
 	budget := c.cfg.MaxCycles
 	if budget == 0 {
 		budget = 2_000_000_000
@@ -255,6 +265,11 @@ func (c *CPU) Run() error {
 	for !c.stats.HaltSeen {
 		if c.cycle >= budget {
 			return fmt.Errorf("ooo: cycle budget %d exhausted at pc %d (deadlock?)", budget, c.pc)
+		}
+		if c.cycle&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("ooo: simulation cancelled at cycle %d: %w", c.cycle, err)
+			}
 		}
 		c.step()
 	}

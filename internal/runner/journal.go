@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Entry statuses. A sweep that finishes cleanly journals StatusOK for every
+// run; StatusSkipped marks runs cancelled by an earlier failure.
+const (
+	StatusOK      = "ok"
+	StatusError   = "error"
+	StatusPanic   = "panic"
+	StatusSkipped = "skipped"
+)
+
+// Entry is one journal record: a single finished (or skipped) run. Entries
+// serialize as one JSON object per line, in completion order; Seq gives the
+// run's position in sweep input order, so a journal can be re-sorted into
+// deterministic order offline.
+type Entry struct {
+	// Sweep names the sweep the run belongs to (e.g. "fig8").
+	Sweep string `json:"sweep,omitempty"`
+	// Seq is the run's input-order index within its sweep.
+	Seq int `json:"seq"`
+	// Label identifies the cell, e.g. "BP/accel-spec".
+	Label string `json:"label"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// WallMS is the run's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Error holds the failure message for non-ok runs.
+	Error string `json:"error,omitempty"`
+	// Metrics carries domain measurements (cycles, IPC, counters, golden
+	// verification status, ...) provided by the result's Metricser. Keys
+	// are emitted in sorted order, so entries are byte-stable.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Journal writes run records as JSON lines to an underlying writer. It is
+// safe for concurrent use by the runner's workers; each Entry becomes
+// exactly one line. The zero value is not usable; construct with NewJournal
+// or OpenJournal.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	owned io.Closer // non-nil when the journal opened the file itself
+	err   error     // first write error, reported by Close
+	lines int
+}
+
+// NewJournal returns a journal writing to w. The caller retains ownership
+// of w; Close does not close it.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// OpenJournal creates (or truncates) the file at path and returns a journal
+// writing to it. Close closes the file.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	return &Journal{w: f, owned: f}, nil
+}
+
+// Write appends one entry as a JSON line. Marshal or write failures are
+// sticky: the first one is remembered and returned from every subsequent
+// Write and from Close, so a sweep is not aborted by observability I/O.
+func (j *Journal) Write(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		j.err = fmt.Errorf("runner: journal marshal: %w", err)
+		return j.err
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = fmt.Errorf("runner: journal write: %w", err)
+		return j.err
+	}
+	j.lines++
+	return nil
+}
+
+// Lines returns the number of entries successfully written.
+func (j *Journal) Lines() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lines
+}
+
+// Close releases the underlying file if the journal owns one and returns
+// the first error encountered over the journal's lifetime.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.owned != nil {
+		if err := j.owned.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.owned = nil
+	}
+	return j.err
+}

@@ -1,0 +1,278 @@
+// Package runner is the parallel experiment harness: a bounded worker-pool
+// sweep engine that fans independent simulation cells out across goroutines
+// while keeping every observable output deterministic.
+//
+// The evaluation sweeps in internal/experiments (Figure 7, Table 5,
+// Figure 8, Figure 9, the §2.2 ablation) are embarrassingly parallel: each
+// (workload, configuration) cell builds its own memory image and core.System
+// and shares nothing mutable with its neighbours. Run exploits that: it
+// executes a slice of Jobs on a fixed number of workers and returns the
+// results *in input order*, regardless of completion order, so a sweep's
+// rendered tables are byte-identical at any worker count.
+//
+// Contract:
+//
+//   - Results are positional: out[i] is jobs[i]'s result, always.
+//   - The first failure (lowest input index whose job returned a real error)
+//     is returned, and its occurrence cancels the sweep context so in-flight
+//     jobs can stop early and queued jobs are skipped.
+//   - A panic inside a job is recovered and converted into an error carrying
+//     the job label and stack, so one broken simulation cannot take down a
+//     40-cell sweep (or the process).
+//   - Observability is built in: an optional Journal records one JSON line
+//     per finished job (wall time, status, and any domain metrics the result
+//     exposes via Metricser), and an optional Progress writer receives live
+//     "N/M runs done, ETA" updates.
+//
+// The zero Options value is ready to use: it runs on GOMAXPROCS workers with
+// no journal and no progress output.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work in a sweep: typically a single simulation of one
+// (workload, configuration) cell.
+type Job[R any] struct {
+	// Label identifies the job in journal entries, progress output, and
+	// panic messages, e.g. "BP/accel-spec" or "SRAD/len=40".
+	Label string
+	// Run executes the job. It should honour ctx cancellation promptly if
+	// it is long-running; the runner cancels ctx when any job fails.
+	Run func(ctx context.Context) (R, error)
+}
+
+// Options configures a sweep. The zero value runs on GOMAXPROCS workers with
+// journaling and progress reporting disabled.
+type Options struct {
+	// Parallelism is the number of worker goroutines; values <= 0 mean
+	// runtime.GOMAXPROCS(0). Parallelism 1 reproduces the serial nested-loop
+	// behaviour exactly (one job at a time, in input order).
+	Parallelism int
+	// Journal, when non-nil, receives one Entry per finished job.
+	Journal *Journal
+	// Progress, when non-nil, receives live "N/M runs done, ETA" updates
+	// (typically os.Stderr). Updates are throttled to one per completion.
+	Progress io.Writer
+	// Name labels the sweep in journal entries and progress lines,
+	// e.g. "fig8".
+	Name string
+}
+
+// workers returns the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Metricser is implemented by job results that want domain metrics (cycles,
+// IPC, counters, ...) attached to their journal entries.
+type Metricser interface {
+	// JournalMetrics returns the metrics to embed in the run's journal
+	// entry. Keys are snake_case; values are numeric so entries stay
+	// machine-parseable.
+	JournalMetrics() map[string]float64
+}
+
+// PanicError is the error produced when a job panics. It preserves the
+// recovered value and the goroutine stack.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %q panicked: %v\n%s", p.Label, p.Value, p.Stack)
+}
+
+// Run executes jobs on a bounded pool of opts.Parallelism workers and
+// returns the results in input order: out[i] corresponds to jobs[i].
+//
+// On failure, Run returns the error of the lowest-indexed failed job
+// together with the partial results; jobs that were skipped or cancelled
+// because of that failure keep their zero value. Cancellation of the parent
+// ctx is reported as ctx's error if no job failed outright.
+func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]R, error) {
+	out := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return out, ctx.Err()
+	}
+	errs := make([]error, len(jobs))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	prog := newProgress(opts.Progress, opts.Name, len(jobs))
+
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Feed indices, not jobs, so results land positionally. With one
+	// worker the channel drains in input order, reproducing the serial
+	// loop exactly.
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, wall, err := runOne(ctx, jobs[i])
+				out[i], errs[i] = res, err
+				if err != nil {
+					cancel()
+				}
+				journalRun(opts, i, jobs[i].Label, res, wall, err)
+				prog.done()
+			}
+		}()
+	}
+	wg.Wait()
+	prog.finish()
+
+	return out, firstError(errs, ctx)
+}
+
+// runOne executes one job, timing it and converting panics to errors.
+func runOne[R any](ctx context.Context, j Job[R]) (res R, wall time.Duration, err error) {
+	start := time.Now()
+	defer func() { wall = time.Since(start) }()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: j.Label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err = ctx.Err(); err != nil {
+		return res, 0, err
+	}
+	res, err = j.Run(ctx)
+	return res, 0, err // wall is set by the deferred timer
+}
+
+// journalRun writes one journal entry for a finished job, if journaling is
+// enabled.
+func journalRun[R any](opts Options, seq int, label string, res R, wall time.Duration, err error) {
+	if opts.Journal == nil {
+		return
+	}
+	e := Entry{
+		Sweep:  opts.Name,
+		Seq:    seq,
+		Label:  label,
+		Status: StatusOK,
+		WallMS: float64(wall.Microseconds()) / 1e3,
+	}
+	var pe *PanicError
+	switch {
+	case err == nil:
+		if m, ok := any(res).(Metricser); ok {
+			e.Metrics = m.JournalMetrics()
+		}
+	case errors.As(err, &pe):
+		e.Status, e.Error = StatusPanic, fmt.Sprint(pe.Value)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.Status, e.Error = StatusSkipped, err.Error()
+	default:
+		e.Status, e.Error = StatusError, err.Error()
+	}
+	opts.Journal.Write(e)
+}
+
+// firstError picks the error Run reports: the lowest-indexed failure that is
+// not mere cancellation fallout, else the context's own error.
+func firstError(errs []error, ctx context.Context) error {
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Only cancellation-fallout errors recorded: surface the first one.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progress emits "N/M runs done, ETA" lines to a writer as jobs complete.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	name  string
+	total int
+	count int
+	start time.Time
+	last  time.Time
+}
+
+// newProgress returns a progress reporter; a nil writer disables it.
+func newProgress(w io.Writer, name string, total int) *progress {
+	if name == "" {
+		name = "sweep"
+	}
+	return &progress{w: w, name: name, total: total, start: time.Now()}
+}
+
+// done records one completed run and emits an update. Updates are throttled
+// to at most ~20/s so a fast sweep does not drown stderr; the final
+// completion always reports.
+func (p *progress) done() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.count++
+	now := time.Now()
+	if p.count < p.total && now.Sub(p.last) < 50*time.Millisecond {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	eta := "?"
+	if p.count > 0 {
+		remain := time.Duration(float64(elapsed) / float64(p.count) * float64(p.total-p.count))
+		eta = remain.Round(100 * time.Millisecond).String()
+	}
+	fmt.Fprintf(p.w, "\r%s: %d/%d runs done, ETA %s   ", p.name, p.count, p.total, eta)
+}
+
+// finish terminates the progress line.
+func (p *progress) finish() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s: %d/%d runs done in %s      \n",
+		p.name, p.count, p.total, time.Since(p.start).Round(time.Millisecond))
+}

@@ -1,6 +1,17 @@
 // Package stats provides the small numeric and formatting helpers shared by
-// the experiment harness: geometric means, ratios, and fixed-width text
-// tables.
+// the experiment harness: geometric means, ratios, percentages, and
+// fixed-width text tables.
+//
+// The geometric mean comes in two flavours with an explicit contract
+// split: Geomean panics on non-positive input — appropriate for test and
+// benchmark code where a non-positive speedup is an assertion failure —
+// while GeomeanErr returns the broken measurement as an error, which
+// library code (the experiments sweeps) uses so one degenerate cell surfaces
+// as a run failure instead of crashing a whole parallel sweep.
+//
+// Table renders aligned monospace tables; it is the single formatter behind
+// every figure and table the harness prints, which is what makes sweep
+// output byte-comparable across runs and worker counts.
 package stats
 
 import (
@@ -11,18 +22,33 @@ import (
 
 // Geomean returns the geometric mean of xs; it returns 0 for an empty slice
 // and panics on non-positive values (which indicate a broken measurement).
+// Library code assembling sweep results should prefer GeomeanErr, which
+// reports the broken measurement as an error instead of crashing the sweep.
 func Geomean(xs []float64) float64 {
+	g, err := GeomeanErr(xs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
+}
+
+// GeomeanErr returns the geometric mean of xs. It returns 0 for an empty
+// slice, and an error naming the offending value if any element is
+// non-positive (a geometric mean is undefined there, and in this codebase a
+// non-positive speedup or energy ratio always means a broken measurement
+// upstream).
+func GeomeanErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: Geomean of non-positive value %v", x))
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: geomean of non-positive value %v at index %d", x, i)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Ratio returns a/b, or 0 when b is zero.

@@ -31,6 +31,21 @@ func TestGeomeanPanicsOnNonPositive(t *testing.T) {
 	Geomean([]float64{1, 0})
 }
 
+func TestGeomeanErr(t *testing.T) {
+	if g, err := GeomeanErr(nil); g != 0 || err != nil {
+		t.Errorf("GeomeanErr(nil) = %v, %v", g, err)
+	}
+	if g, err := GeomeanErr([]float64{1, 4}); err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeomeanErr([1,4]) = %v, %v", g, err)
+	}
+	if _, err := GeomeanErr([]float64{2, -1}); err == nil || !strings.Contains(err.Error(), "index 1") {
+		t.Errorf("GeomeanErr([-1]) err = %v, want error naming index 1", err)
+	}
+	if _, err := GeomeanErr([]float64{0}); err == nil {
+		t.Error("GeomeanErr accepted 0")
+	}
+}
+
 // Property: geomean lies between min and max.
 func TestGeomeanBoundsProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
