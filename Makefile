@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench figures check
+.PHONY: all build test race vet lint bench-smoke bench figures check
 
 all: check
 
@@ -21,6 +21,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+# dynalint enforces the simulator's determinism/isolation invariants
+# (mutableglobal, mapiter, wallclock, ctxpoll, floateq); see README
+# "Static invariants".
+lint:
+	$(GO) run ./cmd/dynalint ./...
+
 # One iteration of every benchmark (each regenerates a paper figure) as a
 # smoke test; full statistics come from `make bench`.
 bench-smoke:
@@ -32,4 +38,4 @@ bench:
 figures:
 	$(GO) run ./cmd/figures
 
-check: build vet test race
+check: build vet lint test race

@@ -1,0 +1,52 @@
+// Command dynalint is the multichecker for dynaspam's determinism and
+// isolation invariants. It runs the internal/lint analyzer suite over the
+// given `go list` patterns (default ./...) and exits non-zero if any
+// invariant is violated:
+//
+//	go run ./cmd/dynalint ./...
+//
+// Suppress a finding, with justification, by annotating the offending line
+// (or the line above it):
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Use -list to print the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaspam/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynalint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(os.Stdout, "", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dynalint: %d invariant violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

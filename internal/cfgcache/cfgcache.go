@@ -89,9 +89,14 @@ func (c *Cache) Store(key tcache.TraceKey, fc *fabric.Config) *Entry {
 	c.tick++
 	if len(c.entries) >= c.cfg.Entries {
 		if _, exists := c.entries[key]; !exists {
+			// Same tie-break as tcache's eviction: (lruTick, TraceKey)
+			// is a total order, so the victim never depends on map
+			// iteration order.
 			var victim *Entry
+			//lint:allow mapiter victim selection minimizes over the total order (lruTick, TraceKey), so the result is iteration-order independent
 			for _, e := range c.entries {
-				if victim == nil || e.lruTick < victim.lruTick {
+				if victim == nil || e.lruTick < victim.lruTick ||
+					(e.lruTick == victim.lruTick && e.Key.Less(victim.Key)) {
 					victim = e
 				}
 			}

@@ -1,0 +1,36 @@
+package cfgcache
+
+import (
+	"testing"
+
+	"dynaspam/internal/tcache"
+)
+
+// TestEvictionTieBreak mirrors tcache's test: with every resident entry
+// flattened onto one lruTick, Store must evict the smallest TraceKey on
+// every trial, never a map-iteration-order-dependent victim.
+func TestEvictionTieBreak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 8
+	for trial := 0; trial < 64; trial++ {
+		c := New(cfg)
+		for i := 0; i < cfg.Entries; i++ {
+			c.Store(tcache.TraceKey{AnchorPC: 100 + i, Dirs: uint8(i & 7)}, nil)
+		}
+		for _, e := range c.entries {
+			e.lruTick = 7
+		}
+		c.Store(tcache.TraceKey{AnchorPC: 999}, nil)
+
+		if got := len(c.entries); got != cfg.Entries {
+			t.Fatalf("trial %d: %d entries after eviction, want %d", trial, got, cfg.Entries)
+		}
+		victim := tcache.TraceKey{AnchorPC: 100, Dirs: 0}
+		if _, resident := c.entries[victim]; resident {
+			t.Fatalf("trial %d: smallest key %v survived; eviction picked an order-dependent victim", trial, victim)
+		}
+		if c.Lookup(tcache.TraceKey{AnchorPC: 999}) == nil {
+			t.Fatalf("trial %d: newly stored key missing", trial)
+		}
+	}
+}

@@ -615,10 +615,17 @@ func boolBit(b bool) uint64 {
 
 // Verify checks framework invariants after a run; tests call it.
 func (s *System) Verify() error {
-	for cfg, n := range s.inflight {
+	// Count violations instead of returning mid-iteration: map order is
+	// randomized, so an early return (and a %p-formatted pointer) would
+	// make the error message differ across runs.
+	leaked := 0
+	for _, n := range s.inflight {
 		if n != 0 {
-			return fmt.Errorf("core: config %p has %d in-flight invocations after halt", cfg, n)
+			leaked++
 		}
+	}
+	if leaked > 0 {
+		return fmt.Errorf("core: %d config(s) have in-flight invocations after halt", leaked)
 	}
 	if s.stats.Offloads != s.stats.TraceCommits+s.stats.TraceSquashes {
 		return fmt.Errorf("core: offload accounting: %d injected, %d committed, %d squashed",

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+//lint:allow mapiter counters commute
+var a int
+
+var b int //lint:allow wallclock measured outside the sim
+
+//lint:allow floateq
+var c int
+
+//lint:allow nosuch this analyzer does not exist
+
+//lint:not-a-directive
+var d int
+`
+
+func parse(t *testing.T) (*token.FileSet, *Suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, NewSuppressions(fset, []*ast.File{f})
+}
+
+func TestSuppressions(t *testing.T) {
+	fset, s := parse(t)
+	_ = fset
+	pos := func(line int) token.Pos {
+		// Positions are resolved by file/line inside Allows; synthesize
+		// one on the requested line via the fset lookup below.
+		return posOnLine(fset, line)
+	}
+	if !s.Allows("mapiter", pos(4)) {
+		t.Error("directive above the line should suppress")
+	}
+	if !s.Allows("wallclock", pos(6)) {
+		t.Error("trailing directive should suppress")
+	}
+	if s.Allows("mapiter", pos(6)) {
+		t.Error("directive must match the analyzer name")
+	}
+	if s.Allows("floateq", pos(9)) {
+		t.Error("directive without a reason must not suppress")
+	}
+}
+
+func TestInvalidDirectives(t *testing.T) {
+	_, s := parse(t)
+	known := map[string]bool{"mapiter": true, "wallclock": true, "floateq": true}
+	bad := s.Invalid(known)
+	if len(bad) != 2 {
+		t.Fatalf("Invalid returned %d directives, want 2 (missing reason + unknown analyzer)", len(bad))
+	}
+	if bad[0].Analyzer != "floateq" || bad[1].Analyzer != "nosuch" {
+		t.Errorf("unexpected invalid directives: %+v, %+v", bad[0], bad[1])
+	}
+}
+
+func posOnLine(fset *token.FileSet, line int) token.Pos {
+	var found token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		found = f.LineStart(line)
+		return false
+	})
+	return found
+}

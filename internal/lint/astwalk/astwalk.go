@@ -1,0 +1,22 @@
+// Package astwalk provides the parent-tracking AST traversal shared by the
+// dynalint analyzers (the stdlib ast.Inspect does not expose ancestors;
+// x/tools' inspector, which does, is unavailable offline).
+package astwalk
+
+import "go/ast"
+
+// WithParents walks the AST rooted at root in depth-first order, calling fn
+// for every node with the stack of its ancestors (outermost first, root
+// included). The slice is reused between calls; copy it to retain it.
+func WithParents(root ast.Node, fn func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

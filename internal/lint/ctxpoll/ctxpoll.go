@@ -1,0 +1,114 @@
+// Package ctxpoll checks that unbounded cycle loops in Run-shaped
+// functions poll their context.
+//
+// PR 1's sweep engine cancels in-flight simulations on first error; that
+// only works if every simulation loop observes ctx. The rule: in a
+// function or method whose name starts with "Run", any `for` loop that is
+// not visibly bounded — `for {}` or a while-style `for cond` — must
+// mention the function's context.Context parameter somewhere in its body
+// (ctx.Err(), ctx.Done(), or passing ctx onward). Three-clause and range
+// loops are treated as bounded. A Run-shaped function containing an
+// unbounded loop but taking no context at all is also reported — it cannot
+// be cancelled and needs a RunCtx variant.
+//
+// Loops bounded by non-structural means (an instruction budget checked in
+// the body) use the escape hatch: //lint:allow ctxpoll <reason>.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the ctxpoll pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "ctxpoll",
+	Doc:   "unbounded loops in Run-shaped functions must poll the context for cancellation",
+	Match: scope.Checked,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Run") {
+				continue
+			}
+			ctxObjs := contextParams(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // closures have their own lifetimes
+				}
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				// Bounded shape: three-clause counter loop.
+				if loop.Init != nil || loop.Post != nil {
+					return true
+				}
+				if len(ctxObjs) == 0 {
+					pass.Reportf(loop.For,
+						"%s has an unbounded loop but no context.Context parameter; it cannot be cancelled — add a RunCtx variant",
+						fd.Name.Name)
+					return true
+				}
+				if !mentionsAny(pass, loop.Body, ctxObjs) {
+					pass.Reportf(loop.For,
+						"unbounded loop in %s never polls its context; check ctx.Err() periodically so sweeps can cancel it",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of fd's context.Context parameters.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				continue
+			}
+			if named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context" {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// mentionsAny reports whether body references any of the given objects.
+func mentionsAny(pass *analysis.Pass, body ast.Node, objs []types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := pass.TypesInfo.Uses[id]
+		for _, obj := range objs {
+			if use == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

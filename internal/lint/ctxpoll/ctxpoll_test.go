@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/ctxpoll"
+	"dynaspam/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, ctxpoll.Analyzer, "dynaspam/internal/core")
+}

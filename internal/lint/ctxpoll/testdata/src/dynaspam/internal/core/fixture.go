@@ -1,0 +1,65 @@
+// Fixture for the ctxpoll analyzer: cycle loops in Run-shaped functions.
+package core
+
+import "context"
+
+type sim struct {
+	halted bool
+	cycle  int
+}
+
+// RunCtx polls its context inside the unbounded cycle loop: allowed.
+func (s *sim) RunCtx(ctx context.Context) error {
+	for !s.halted {
+		if s.cycle&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.cycle++
+	}
+	return nil
+}
+
+// RunDeaf takes a context but never consults it.
+func (s *sim) RunDeaf(ctx context.Context) {
+	for !s.halted { // want `never polls its context`
+		s.cycle++
+	}
+}
+
+// Run has no context at all: it cannot be cancelled.
+func (s *sim) Run() {
+	for { // want `unbounded loop but no context`
+		if s.halted {
+			return
+		}
+		s.cycle++
+	}
+}
+
+// RunBounded uses a three-clause counter loop: visibly bounded, allowed.
+func (s *sim) RunBounded(n int) {
+	for i := 0; i < n; i++ {
+		s.cycle++
+	}
+}
+
+// RunBudgeted is bounded by a budget check, which the analyzer cannot
+// see: the escape hatch documents the proof.
+func (s *sim) RunBudgeted(max int) {
+	//lint:allow ctxpoll bounded by the max budget checked every iteration
+	for !s.halted {
+		if s.cycle >= max {
+			return
+		}
+		s.cycle++
+	}
+}
+
+// drain is not Run-shaped; ctxpoll does not apply.
+func (s *sim) drain() {
+	for !s.halted {
+		s.cycle++
+	}
+}

@@ -1,0 +1,54 @@
+// Package floateq forbids == and != on floating-point operands.
+//
+// The stats and energy pipelines aggregate per-cell results into the
+// paper's headline numbers; exact float equality there either works by
+// accident (comparing a value to itself) or silently misclassifies results
+// that differ by one ulp after a refactor of summation order. Compare
+// against a tolerance, or use math.Signbit/math.IsNaN for the special
+// cases. Deliberate exact comparisons (e.g. against an untouched sentinel)
+// use the escape hatch: //lint:allow floateq <reason>.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "floateq",
+	Doc:   "forbid ==/!= on floats in stats/energy paths (compare with a tolerance)",
+	Match: scope.Checked,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass, be.X) || isFloat(pass, be.Y) {
+				pass.Reportf(be.OpPos,
+					"%s on floating-point values; exact float equality breaks under reordering — compare within a tolerance or annotate //lint:allow floateq <reason>",
+					be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

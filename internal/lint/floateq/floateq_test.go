@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/floateq"
+	"dynaspam/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, floateq.Analyzer, "dynaspam/internal/stats")
+}

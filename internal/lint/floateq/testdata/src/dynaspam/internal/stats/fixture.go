@@ -1,0 +1,28 @@
+// Fixture for the floateq analyzer: float comparisons in stats paths.
+package stats
+
+func eq(a, b float64) bool {
+	return a == b // want `== on floating-point values`
+}
+
+func ne(a, b float32) bool {
+	return a != b // want `!= on floating-point values`
+}
+
+func close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol // ordered comparisons are fine
+}
+
+func intEq(a, b int) bool { return a == b }
+
+func guard(b float64) float64 {
+	//lint:allow floateq exact-zero divisor sentinel, mirrors stats.Ratio
+	if b == 0 {
+		return 0
+	}
+	return 1 / b
+}

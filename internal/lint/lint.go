@@ -1,0 +1,114 @@
+// Package lint assembles the dynalint suite: the custom analyzers that
+// mechanically enforce dynaspam's determinism and isolation invariants,
+// and the driver that runs them over `go list` patterns.
+//
+// The invariants (one analyzer each; see the package docs for rationale):
+//
+//   - mutableglobal: no package-level mutable state in simulator packages
+//   - mapiter: no map iteration feeding order-dependent paths
+//   - wallclock: no time.Now/unseeded math/rand in measured packages
+//   - ctxpoll: unbounded Run loops must poll their context
+//   - floateq: no ==/!= on floats
+//
+// Findings are suppressed line-by-line with `//lint:allow <analyzer>
+// <reason>`; a directive without a reason, or naming an unknown analyzer,
+// is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/ctxpoll"
+	"dynaspam/internal/lint/floateq"
+	"dynaspam/internal/lint/load"
+	"dynaspam/internal/lint/mapiter"
+	"dynaspam/internal/lint/mutableglobal"
+	"dynaspam/internal/lint/wallclock"
+)
+
+// Analyzers returns the dynalint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		mutableglobal.Analyzer,
+		mapiter.Analyzer,
+		wallclock.Analyzer,
+		ctxpoll.Analyzer,
+		floateq.Analyzer,
+	}
+}
+
+// A Finding is one reported diagnostic with its source analyzer.
+type Finding struct {
+	Position string // file:line:col
+	Message  string
+	Analyzer string
+	pos      int // for stable sorting: token.Pos offset
+}
+
+// Run loads patterns (relative to dir, "" meaning the current directory),
+// runs every in-scope analyzer over every matched package, prints findings
+// to w, and returns them. A non-empty return means the tree violates an
+// invariant.
+func Run(w io.Writer, dir string, patterns []string) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		supp := analysis.NewSuppressions(pkg.Fset, pkg.Files)
+		for _, d := range supp.Invalid(known) {
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos).String(),
+				Message:  fmt.Sprintf("malformed directive: want %q with a known analyzer and a non-empty reason", analysis.AllowPrefix+"<analyzer> <reason>"),
+				Analyzer: "directive",
+				pos:      int(d.Pos),
+			})
+		}
+		for _, a := range Analyzers() {
+			if !a.Applies(pkg.ImportPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				if supp.Allows(name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Position: pkg.Fset.Position(d.Pos).String(),
+					Message:  d.Message,
+					Analyzer: name,
+					pos:      int(d.Pos),
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s [%s]\n", f.Position, f.Message, f.Analyzer)
+	}
+	return findings, nil
+}

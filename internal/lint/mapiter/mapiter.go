@@ -1,0 +1,524 @@
+// Package mapiter flags `range` over maps when the loop body is not
+// provably order-independent.
+//
+// Go randomizes map iteration order, so any map range that feeds an
+// ordered or result-bearing path — journal lines, eviction victim
+// selection, stats dumps, error returns — makes simulation output depend
+// on the run, which breaks the bit-determinism the parallel sweep engine
+// relies on.
+//
+// A loop body is accepted as order-independent when every statement is one
+// of:
+//
+//   - a write whose destination is rooted at the range key/value variables
+//     or at a variable declared inside the loop (per-iteration state);
+//   - a write to an element indexed by the range key (distinct keys
+//     commute);
+//   - an integer accumulation (x++, x--, x += e, -=, |=, &=, ^=, *=) —
+//     float accumulation is rejected because float addition is not
+//     associative;
+//   - delete(m, k) where k is the range key, or a delete from a map other
+//     than the one being ranged;
+//   - x = append(x, ...) when a statement after the loop in the same
+//     block passes x to sort.* or slices.Sort* (the collect-then-sort
+//     idiom);
+//   - control flow (if/switch/nested loops/continue) over the above.
+//
+// Everything else — early return/break, non-builtin calls (they may write
+// output), reads of values accumulated by previous iterations — is
+// reported. Loops whose order-independence is real but unprovable (e.g.
+// min-selection over a total order) use the annotation escape hatch:
+// //lint:allow mapiter <reason>.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/astwalk"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "mapiter",
+	Doc:   "forbid map iteration feeding order-dependent paths (map order is randomized)",
+	Match: scope.Ordered,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		astwalk.WithParents(f, func(n ast.Node, parents []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			c := newChecker(pass, rs, parents)
+			if v := c.checkBody(); v != nil {
+				pass.Reportf(rs.For,
+					"map iteration order is randomized but this loop %s (%s); sort the keys first, or annotate //lint:allow mapiter <reason> if provably order-independent",
+					v.why, pass.Fset.Position(v.pos))
+			}
+		})
+	}
+	return nil
+}
+
+type violation struct {
+	why string
+	pos token.Pos
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	rs      *ast.RangeStmt
+	parents []ast.Node // ancestors of rs, for the collect-then-sort idiom
+	keyName string     // range key identifier ("" if none/blank)
+	locals  map[types.Object]bool
+	written map[string]bool // ExprString of non-local write destinations
+}
+
+func newChecker(pass *analysis.Pass, rs *ast.RangeStmt, parents []ast.Node) *checker {
+	c := &checker{
+		pass:    pass,
+		rs:      rs,
+		parents: append([]ast.Node(nil), parents...),
+		locals:  make(map[types.Object]bool),
+		written: make(map[string]bool),
+	}
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		c.keyName = id.Name
+	}
+	// Pass 1: collect per-iteration locals (anything declared inside the
+	// statement, including the key/value vars) and the paths written to
+	// non-local destinations, so pass 2 can reject reads of accumulated
+	// state regardless of statement order.
+	ast.Inspect(rs, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Defs[s]; obj != nil {
+				c.locals[obj] = true
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				break
+			}
+			for _, lhs := range s.Lhs {
+				if !c.isLocalRooted(lhs) {
+					c.written[types.ExprString(lhs)] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if !c.isLocalRooted(s.X) {
+				c.written[types.ExprString(s.X)] = true
+			}
+		}
+		return true
+	})
+	return c
+}
+
+func (c *checker) checkBody() *violation {
+	return c.checkStmts(c.rs.Body.List)
+}
+
+func (c *checker) checkStmts(list []ast.Stmt) *violation {
+	for _, s := range list {
+		if v := c.checkStmt(s); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s ast.Stmt) *violation {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.checkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if v := c.checkStmt(s.Init); v != nil {
+				return v
+			}
+		}
+		if v := c.checkExpr(s.Cond); v != nil {
+			return v
+		}
+		if v := c.checkStmts(s.Body.List); v != nil {
+			return v
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			if v := c.checkStmt(s.Init); v != nil {
+				return v
+			}
+		}
+		if s.Tag != nil {
+			if v := c.checkExpr(s.Tag); v != nil {
+				return v
+			}
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, e := range cl.List {
+				if v := c.checkExpr(e); v != nil {
+					return v
+				}
+			}
+			if v := c.checkStmts(cl.Body); v != nil {
+				return v
+			}
+		}
+		return nil
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if v := c.checkStmt(s.Init); v != nil {
+				return v
+			}
+		}
+		if s.Cond != nil {
+			if v := c.checkExpr(s.Cond); v != nil {
+				return v
+			}
+		}
+		if s.Post != nil {
+			if v := c.checkStmt(s.Post); v != nil {
+				return v
+			}
+		}
+		return c.checkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		// A nested map range is checked independently by run; for the
+		// outer loop it is order-independent iff its body is, which the
+		// same statement rules establish.
+		if v := c.checkExpr(s.X); v != nil {
+			return v
+		}
+		return c.checkStmts(s.Body.List)
+	case *ast.AssignStmt:
+		return c.checkAssign(s)
+	case *ast.IncDecStmt:
+		if !c.isLocalRooted(s.X) && !isInteger(c.pass, s.X) {
+			return &violation{"increments non-integer state across iterations", s.Pos()}
+		}
+		return nil
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return &violation{"contains an order-sensitive declaration", s.Pos()}
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, val := range vs.Values {
+					if v := c.checkExpr(val); v != nil {
+						return v
+					}
+				}
+			}
+		}
+		return nil
+	case *ast.ExprStmt:
+		return c.checkCallStmt(s)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return nil
+		}
+		return &violation{"exits early with " + s.Tok.String() + ", selecting an iteration-order-dependent element", s.Pos()}
+	case *ast.ReturnStmt:
+		return &violation{"returns from inside the loop, selecting an iteration-order-dependent element", s.Pos()}
+	case *ast.EmptyStmt:
+		return nil
+	default:
+		return &violation{"contains an order-sensitive statement", s.Pos()}
+	}
+}
+
+// checkAssign validates one assignment against the order-independent write
+// forms.
+func (c *checker) checkAssign(s *ast.AssignStmt) *violation {
+	// Short variable declarations introduce per-iteration locals; only
+	// their right-hand sides need checking.
+	if s.Tok == token.DEFINE {
+		for _, rhs := range s.Rhs {
+			if v := c.checkExpr(rhs); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+	for i, lhs := range s.Lhs {
+		switch {
+		case c.isLocalRooted(lhs):
+			// Per-iteration or per-element state.
+		case c.isKeyIndexed(lhs):
+			// Writes to distinct keys commute.
+		case s.Tok != token.ASSIGN && isInteger(c.pass, lhs):
+			if !commutativeOp(s.Tok) {
+				return &violation{"updates shared state with non-commutative " + s.Tok.String(), s.Pos()}
+			}
+			// Integer accumulation; the self-read is part of the
+			// accumulate, so skip the written-path check for this LHS.
+			if i < len(s.Rhs) {
+				if v := c.checkExpr(s.Rhs[i]); v != nil {
+					return v
+				}
+			}
+			continue
+		case c.isSortedAppend(s, i):
+			// Collect-then-sort idiom; the self-read in
+			// x = append(x, ...) is part of the collect, so only the
+			// appended values need checking.
+			for _, arg := range s.Rhs[i].(*ast.CallExpr).Args[1:] {
+				if v := c.checkExpr(arg); v != nil {
+					return v
+				}
+			}
+			continue
+		default:
+			return &violation{"writes " + types.ExprString(lhs) + " whose final value depends on iteration order", s.Pos()}
+		}
+		if i < len(s.Rhs) {
+			if v := c.checkExpr(s.Rhs[i]); v != nil {
+				return v
+			}
+		}
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		return c.checkExpr(s.Rhs[0])
+	}
+	return nil
+}
+
+// checkCallStmt validates a bare call statement: only delete() can appear.
+func (c *checker) checkCallStmt(s *ast.ExprStmt) *violation {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return &violation{"contains an order-sensitive expression statement", s.Pos()}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "delete" && len(call.Args) == 2 {
+			mapStr := types.ExprString(call.Args[0])
+			if mapStr != types.ExprString(c.rs.X) {
+				return nil // deleting from a different map commutes
+			}
+			if key, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok && c.keyName != "" && key.Name == c.keyName {
+				return nil // deleting the current entry is explicitly allowed
+			}
+			return &violation{"deletes other keys from the map being ranged, which changes what later iterations see", s.Pos()}
+		}
+	}
+	return &violation{"calls " + types.ExprString(call.Fun) + " whose side effects run in map order", s.Pos()}
+}
+
+// checkExpr rejects expressions whose evaluation is order-sensitive:
+// non-builtin calls and reads of state written by other iterations.
+func (c *checker) checkExpr(e ast.Expr) *violation {
+	var v *violation
+	ast.Inspect(e, func(n ast.Node) bool {
+		if v != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !c.pureCall(n) {
+				v = &violation{"calls " + types.ExprString(n.Fun) + " whose side effects run in map order", n.Pos()}
+				return false
+			}
+		case *ast.FuncLit:
+			return false // not evaluated here
+		case ast.Expr:
+			if c.written[types.ExprString(n)] && !c.isKeyIndexed(n) {
+				v = &violation{"reads " + types.ExprString(n) + ", which earlier iterations may have written", n.Pos()}
+				return false
+			}
+		}
+		return true
+	})
+	return v
+}
+
+// pureCall reports whether a call is a side-effect-free builtin or a type
+// conversion.
+func (c *checker) pureCall(call *ast.CallExpr) bool {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	switch id.Name {
+	case "len", "cap", "append", "min", "max", "make", "new", "real", "imag", "complex":
+		return true
+	}
+	return false
+}
+
+// isLocalRooted reports whether the expression is rooted at a variable
+// declared inside the loop (including the range key/value variables).
+func (c *checker) isLocalRooted(e ast.Expr) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[root]
+	}
+	return obj != nil && c.locals[obj]
+}
+
+// isKeyIndexed reports whether e is an index expression whose index is the
+// range key variable, i.e. a per-key slot only this iteration touches.
+func (c *checker) isKeyIndexed(e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok || c.keyName == "" {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && id.Name == c.keyName
+}
+
+// isSortedAppend recognizes `x = append(x, ...)` where x is sorted by a
+// sort.* or slices.* call after the loop in the same enclosing block.
+func (c *checker) isSortedAppend(s *ast.AssignStmt, i int) bool {
+	if s.Tok != token.ASSIGN || i >= len(s.Rhs) {
+		return false
+	}
+	call, ok := s.Rhs[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	target := types.ExprString(s.Lhs[i])
+	if types.ExprString(call.Args[0]) != target {
+		return false
+	}
+	// Find the enclosing block and scan the statements after the loop.
+	for pi := len(c.parents) - 1; pi >= 0; pi-- {
+		block, ok := c.parents[pi].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		after := false
+		for _, stmt := range block.List {
+			if containsNode(stmt, c.rs) {
+				after = true
+				continue
+			}
+			if after && sortsTarget(c.pass, stmt, target) {
+				return true
+			}
+		}
+		break
+	}
+	return false
+}
+
+// sortsTarget reports whether stmt is a sort.*/slices.* call (or an
+// assignment from one, e.g. x = slices.Sorted...) mentioning target.
+func sortsTarget(pass *analysis.Pass, stmt ast.Stmt, target string) bool {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			call, _ = s.Rhs[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if types.ExprString(arg) == target {
+			return true
+		}
+	}
+	return false
+}
+
+// containsNode reports whether sub is within the subtree rooted at n.
+func containsNode(n, sub ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == sub {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func commutativeOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}

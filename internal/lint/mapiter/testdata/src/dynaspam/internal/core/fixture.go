@@ -1,0 +1,109 @@
+// Fixture for the mapiter analyzer: map ranges that are provably
+// order-independent versus ones that feed ordered or result-bearing
+// paths.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+type entry struct {
+	count int
+	hot   bool
+}
+
+// countHot accumulates integers: commutative, allowed.
+func countHot(m map[int]*entry) int {
+	n := 0
+	for _, e := range m {
+		if e.hot {
+			n++
+		}
+	}
+	return n
+}
+
+// decay writes only through the range value: per-element state, allowed.
+func decay(m map[int]*entry) {
+	for _, e := range m {
+		e.count /= 2
+		if e.count == 0 {
+			e.hot = false
+		}
+	}
+}
+
+// dropCold deletes the current key: explicitly allowed.
+func dropCold(m map[int]*entry) {
+	for k, e := range m {
+		if !e.hot {
+			delete(m, k)
+		}
+	}
+}
+
+// sortedKeys is the collect-then-sort idiom: allowed.
+func sortedKeys(m map[int]*entry) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// invert writes to a slot indexed by the range key: distinct keys
+// commute, allowed.
+func invert(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// sumFloats accumulates floats in map order: not associative, flagged.
+func sumFloats(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// anyKey returns mid-iteration: which key wins depends on map order.
+func anyKey(m map[int]int) int {
+	for k := range m { // want `map iteration order is randomized`
+		return k
+	}
+	return -1
+}
+
+// dump emits journal-like lines in map order.
+func dump(m map[int]int) {
+	for k, v := range m { // want `map iteration order is randomized`
+		fmt.Println(k, v)
+	}
+}
+
+// minVal is victim selection without a provable total order.
+func minVal(m map[int]*entry) int {
+	best := 1 << 62
+	for _, e := range m { // want `map iteration order is randomized`
+		if e.count < best {
+			best = e.count
+		}
+	}
+	return best
+}
+
+// lruVictim is the annotated eviction pattern from tcache/cfgcache.
+func lruVictim(m map[int]*entry) int {
+	best := -1
+	//lint:allow mapiter fixture mirrors the tcache eviction proof: minimizing over a total order
+	for k, e := range m {
+		if best < 0 || e.count < k {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,305 @@
+// Package mutableglobal rejects package-level mutable state in simulator
+// packages.
+//
+// This is the exact bug class behind the PR 1 LRU-clock data race: a
+// package-global tick counter shared by every TCache instance made the
+// parallel sweep racy and its results run-order dependent. Simulator state
+// must live in per-run structs so independent simulations cannot observe
+// each other.
+//
+// A package-level var is accepted only when the analyzer can prove it is
+// effectively constant:
+//
+//   - it is never assigned, incremented or address-taken anywhere in its
+//     package, and
+//   - it is unexported (so no other package can reassign it), and
+//   - every use is a read that cannot leak a mutable alias: for deeply
+//     immutable types (numbers, strings, bools, arrays/structs of such)
+//     any read qualifies; for reference types (slices, maps, pointers,
+//     chans, funcs, interfaces) only indexing, ranging, len/cap and direct
+//     calls qualify, since copying the value hands out a mutable alias.
+//
+// Error sentinels (`var ErrFoo = errors.New(...)`) are accepted, exported
+// or not, as long as they are never reassigned — the shared Go convention
+// treats them as constants.
+package mutableglobal
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/astwalk"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the mutableglobal pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "mutableglobal",
+	Doc:   "forbid package-level mutable state in simulator packages (per-run determinism)",
+	Match: scope.Checked,
+	Run:   run,
+}
+
+type varState struct {
+	ident    *ast.Ident
+	sentinel bool      // error sentinel by initializer convention
+	mutated  token.Pos // first write, if any
+	aliased  token.Pos // first escaping use, if any
+}
+
+func run(pass *analysis.Pass) error {
+	vars := collect(pass)
+	if len(vars) == 0 {
+		return nil
+	}
+	classify(pass, vars)
+
+	objs := make([]types.Object, 0, len(vars))
+	for obj := range vars {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return vars[objs[i]].ident.Pos() < vars[objs[j]].ident.Pos() })
+
+	for _, obj := range objs {
+		st := vars[obj]
+		switch {
+		case st.mutated.IsValid():
+			pass.Reportf(st.ident.Pos(),
+				"package-level var %s is mutated at %s; simulator state must live in per-run structs",
+				obj.Name(), pass.Fset.Position(st.mutated))
+		case st.sentinel:
+			// Never-reassigned error sentinel: conventional constant.
+		case obj.Exported():
+			pass.Reportf(st.ident.Pos(),
+				"exported package-level var %s can be reassigned by any importer; make it a const, a func, or per-run state",
+				obj.Name())
+		case st.aliased.IsValid():
+			pass.Reportf(st.ident.Pos(),
+				"package-level var %s leaks a mutable alias at %s; copy it into per-run state or make it deeply immutable",
+				obj.Name(), pass.Fset.Position(st.aliased))
+		}
+	}
+	return nil
+}
+
+// collect gathers the package-level var objects under inspection.
+func collect(pass *analysis.Pass) map[types.Object]*varState {
+	vars := make(map[types.Object]*varState)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					vars[obj] = &varState{ident: name, sentinel: isErrSentinel(pass, vs, i, obj)}
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// isErrSentinel reports whether the i'th name of vs is an error-typed var
+// initialized by errors.New or fmt.Errorf.
+func isErrSentinel(pass *analysis.Pass, vs *ast.ValueSpec, i int, obj types.Object) bool {
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return false
+	}
+	if i >= len(vs.Values) {
+		return false
+	}
+	call, ok := vs.Values[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "errors.New", "fmt.Errorf":
+		return true
+	}
+	return false
+}
+
+// classify walks every file and records, per tracked var, the first
+// mutating use and the first alias-leaking use.
+func classify(pass *analysis.Pass, vars map[types.Object]*varState) {
+	record := func(obj types.Object, mutated bool, pos token.Pos) {
+		st, ok := vars[obj]
+		if !ok {
+			return
+		}
+		if mutated && !st.mutated.IsValid() {
+			st.mutated = pos
+		}
+		if !mutated && !st.aliased.IsValid() {
+			st.aliased = pos
+		}
+	}
+	for _, f := range pass.Files {
+		astwalk.WithParents(f, func(n ast.Node, parents []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return
+			}
+			if _, tracked := vars[obj]; !tracked {
+				return
+			}
+			switch use := classifyUse(pass, id, parents); use {
+			case useRead:
+			case useMutate:
+				record(obj, true, id.Pos())
+			case useAlias:
+				record(obj, false, id.Pos())
+			}
+		})
+	}
+}
+
+type useKind int
+
+const (
+	useRead useKind = iota
+	useMutate
+	useAlias
+)
+
+// classifyUse decides how the identifier use at the top of parents treats
+// the variable. parents[len-1] is the immediate parent of id.
+func classifyUse(pass *analysis.Pass, id *ast.Ident, parents []ast.Node) useKind {
+	// Walk outward through chains that still denote (part of) the var:
+	// parens, indexing, field selection, dereference, slicing.
+	node := ast.Node(id)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.ParenExpr:
+			node = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == node {
+				node = p
+				continue
+			}
+		case *ast.SelectorExpr:
+			if p.X == node {
+				node = p
+				continue
+			}
+		case *ast.StarExpr:
+			if p.X == node {
+				node = p
+				continue
+			}
+		case *ast.SliceExpr:
+			if p.X == node {
+				node = p
+				continue
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == node {
+					return useMutate
+				}
+			}
+			return aliasUnlessImmutable(pass, id, node)
+		case *ast.IncDecStmt:
+			if p.X == node {
+				return useMutate
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND && p.X == node {
+				return useAlias
+			}
+		case *ast.RangeStmt:
+			if p.X == node {
+				return useRead
+			}
+			return aliasUnlessImmutable(pass, id, node)
+		case *ast.CallExpr:
+			if p.Fun == node {
+				return useRead // calling a func-typed var reads it
+			}
+			if fn, ok := p.Fun.(*ast.Ident); ok {
+				switch pass.TypesInfo.Uses[fn].(type) {
+				case *types.Builtin:
+					if fn.Name == "len" || fn.Name == "cap" {
+						return useRead
+					}
+				}
+			}
+			return aliasUnlessImmutable(pass, id, node)
+		}
+		break
+	}
+	return aliasUnlessImmutable(pass, id, node)
+}
+
+// aliasUnlessImmutable treats a value-copy read as safe only when the part
+// of the var being copied cannot hand out a mutable alias. node is the
+// outermost expression still rooted at the var.
+func aliasUnlessImmutable(pass *analysis.Pass, id *ast.Ident, node ast.Node) useKind {
+	expr, ok := node.(ast.Expr)
+	if !ok {
+		return useAlias
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		tv, ok = pass.TypesInfo.Types[ast.Expr(id)]
+		if !ok {
+			return useAlias
+		}
+	}
+	if deeplyImmutable(tv.Type, 0) {
+		return useRead
+	}
+	return useAlias
+}
+
+// deeplyImmutable reports whether copies of t share no mutable storage
+// with the original: basics, strings, and arrays/structs thereof.
+func deeplyImmutable(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	case *types.Array:
+		return deeplyImmutable(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !deeplyImmutable(u.Field(i).Type(), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

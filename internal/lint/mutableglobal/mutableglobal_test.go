@@ -1,0 +1,28 @@
+package mutableglobal_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/linttest"
+	"dynaspam/internal/lint/mutableglobal"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, mutableglobal.Analyzer, "dynaspam/internal/ooo")
+}
+
+func TestScope(t *testing.T) {
+	a := mutableglobal.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/ooo":           true,
+		"dynaspam/internal/tcache":        true,
+		"dynaspam/internal/runner":        true,
+		"dynaspam/internal/lint/analysis": false, // Analyzer vars are the go/analysis idiom
+		"dynaspam/cmd/dynaspam":           false,
+		"fmt":                             false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Fixture for the mutableglobal analyzer: package-level state in a
+// simulator package.
+package ooo
+
+import "errors"
+
+// ErrHalted is a never-reassigned error sentinel: allowed by convention.
+var ErrHalted = errors.New("ooo: halted")
+
+// clock is the PR 1 bug class: a package-global counter shared by every
+// simulated core.
+var clock uint64 // want `package-level var clock is mutated`
+
+// opLatency is read-only and deeply immutable: effectively a const table.
+var opLatency = [4]int{1, 1, 3, 12}
+
+// modes is a reference type, but its only use is ranging: allowed.
+var modes = []int{0, 1, 2}
+
+// Width is exported, so any importer can reassign it.
+var Width = 4 // want `exported package-level var Width`
+
+// scratch leaks a mutable alias when returned.
+var scratch = []int{0, 0} // want `package-level var scratch leaks a mutable alias`
+
+// suppressed exercises the escape hatch.
+//
+//lint:allow mutableglobal fixture exercising the annotation escape hatch
+var suppressed int
+
+func tick() uint64 {
+	clock++
+	return clock
+}
+
+func latency(op int) int { return opLatency[op] }
+
+func sumModes() int {
+	n := 0
+	for _, m := range modes {
+		n += m
+	}
+	return n + len(modes)
+}
+
+func leak() []int { return scratch }
+
+func bumpSuppressed() {
+	suppressed++
+}

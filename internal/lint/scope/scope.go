@@ -1,0 +1,58 @@
+// Package scope centralizes which dynaspam packages each dynalint analyzer
+// applies to, so the per-analyzer Match functions and the documentation
+// cannot drift apart.
+package scope
+
+import "strings"
+
+// Module is the module path of this repository.
+const Module = "dynaspam"
+
+// simSuffixes are the measured simulator packages: every cycle, stat and
+// joule in the paper's figures flows through these, so they carry the
+// strictest invariants (no wall-clock reads at all).
+var simSuffixes = []string{
+	"ooo", "core", "fabric", "mapper", "tcache",
+	"cfgcache", "memdep", "cache", "energy",
+}
+
+// Internal reports whether path is any package under dynaspam/internal/.
+func Internal(path string) bool {
+	return path == Module+"/internal" || strings.HasPrefix(path, Module+"/internal/")
+}
+
+// Lint reports whether path is part of the linter itself, which is exempt
+// from the simulator invariants (the go/analysis idiom is package-level
+// Analyzer vars, and the driver legitimately shells out and sorts output).
+func Lint(path string) bool {
+	return path == Module+"/internal/lint" || strings.HasPrefix(path, Module+"/internal/lint/")
+}
+
+// Runner reports whether path is the parallel sweep engine, whose
+// progress/ETA display is allowlisted for wall-clock reads.
+func Runner(path string) bool {
+	return path == Module+"/internal/runner"
+}
+
+// Sim reports whether path is one of the measured simulator packages.
+func Sim(path string) bool {
+	for _, s := range simSuffixes {
+		if path == Module+"/internal/"+s {
+			return true
+		}
+	}
+	return false
+}
+
+// Checked reports whether path carries the general determinism invariants:
+// everything under internal/ except the linter itself.
+func Checked(path string) bool {
+	return Internal(path) && !Lint(path)
+}
+
+// Ordered reports whether path produces ordered, user-visible output
+// (journal lines, figures, stats dumps): the whole module except the
+// linter. Commands are included because they format results.
+func Ordered(path string) bool {
+	return (path == Module || strings.HasPrefix(path, Module+"/")) && !Lint(path)
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full dynalint suite over the repository itself:
+// every invariant finding on the tree must have been fixed or annotated.
+// This is the test that fails if someone re-globalizes a simulator counter
+// (the PR 1 LRU-clock bug class) or adds an unsorted map dump.
+func TestRepoIsClean(t *testing.T) {
+	var buf bytes.Buffer
+	findings, err := Run(&buf, "", []string{"dynaspam/..."})
+	if err != nil {
+		t.Fatalf("dynalint failed to run: %v", err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("dynalint found %d invariant violation(s) on the repo:\n%s",
+			len(findings), buf.String())
+	}
+}
+
+// TestSuiteMetadata pins the suite's shape: five analyzers, unique names,
+// documented, and all scoped (a nil Match would silently lint the world).
+func TestSuiteMetadata(t *testing.T) {
+	as := Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	}
+	seen := make(map[string]bool)
+	for _, a := range as {
+		if a.Name == "" || strings.ContainsAny(a.Name, " \t") {
+			t.Errorf("analyzer %q: name must be a bare identifier", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Match == nil {
+			t.Errorf("analyzer %q has nil Match; every dynaspam invariant is package-scoped", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has nil Run", a.Name)
+		}
+		if a.Applies("fmt") {
+			t.Errorf("analyzer %q applies to the standard library", a.Name)
+		}
+	}
+}

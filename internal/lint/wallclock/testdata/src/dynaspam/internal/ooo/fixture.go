@@ -1,0 +1,34 @@
+// Fixture for the wallclock analyzer: host-time and ambient randomness in
+// a measured simulator package.
+package ooo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a) // pure arithmetic on values handed in: allowed
+}
+
+func jitter(n int) int {
+	return rand.Intn(n) // want `ambiently-seeded global generator`
+}
+
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed)) // explicit seed: allowed
+	return r.Intn(n)                    // method on the seeded generator: allowed
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func allowed() time.Time {
+	//lint:allow wallclock fixture exercising the annotation escape hatch
+	return time.Now()
+}

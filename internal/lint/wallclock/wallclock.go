@@ -1,0 +1,83 @@
+// Package wallclock forbids wall-clock reads and ambiently-seeded
+// randomness inside the measured simulator packages.
+//
+// A cycle-level simulation must be a pure function of its inputs: the same
+// workload and parameters must produce bit-identical cycles, stats and
+// energy on every run. time.Now (and friends) and math/rand's global,
+// time-seeded generator leak host-execution state into that function.
+// Explicitly seeded generators (rand.New(rand.NewSource(seed))) remain
+// available, as does all of time's arithmetic on values obtained outside
+// the simulator.
+//
+// The runner's progress/ETA display is allowlisted via scoping: it
+// measures the host sweep, not the simulated machine.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbid time.Now/unseeded math/rand in simulator packages (results must be pure functions of inputs)",
+	Match: func(path string) bool { return scope.Checked(path) && !scope.Runner(path) },
+	Run:   run,
+}
+
+// clockFuncs are the package time functions that read or schedule against
+// the wall clock. Pure constructors and arithmetic (time.Duration, Unix,
+// Date, Parse...) are not listed.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// seededCtors are the math/rand functions that construct explicitly-seeded
+// generators; everything else at package level uses the shared
+// ambiently-seeded source.
+var seededCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Skip methods (e.g. (*rand.Rand).Intn on a seeded Rand);
+			// only package-level functions carry ambient state.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if clockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock inside a measured simulator package; thread times in as inputs (runner is allowlisted)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededCtors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s uses the ambiently-seeded global generator; construct rand.New(rand.NewSource(seed)) from an explicit seed instead",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

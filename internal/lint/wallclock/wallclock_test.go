@@ -1,0 +1,32 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/linttest"
+	"dynaspam/internal/lint/wallclock"
+)
+
+func TestFixtures(t *testing.T) {
+	// The runner fixture reads time.Now but carries no want comments:
+	// the allowlist (scoping) is what keeps it clean.
+	linttest.Run(t, wallclock.Analyzer,
+		"dynaspam/internal/ooo",
+		"dynaspam/internal/runner",
+	)
+}
+
+func TestScope(t *testing.T) {
+	a := wallclock.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/ooo":    true,
+		"dynaspam/internal/energy": true,
+		"dynaspam/internal/runner": false, // progress/ETA allowlist
+		"dynaspam/cmd/dynaspam":    false,
+		"fmt":                      false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

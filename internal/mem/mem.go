@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Memory is a sparse flat memory built from fixed-size pages, so large
@@ -128,7 +129,14 @@ func (m *Memory) Equal(o *Memory) (bool, string) {
 	for idx := range o.pages {
 		seen[idx] = true
 	}
+	// Visit pages in address order so the reported first difference is
+	// deterministic (map iteration order is randomized).
+	idxs := make([]uint64, 0, len(seen))
 	for idx := range seen {
+		idxs = append(idxs, idx)
+	}
+	slices.Sort(idxs)
+	for _, idx := range idxs {
 		base := idx << pageShift
 		for off := uint64(0); off < pageSize; off += 8 {
 			a, b := m.Read64(base+off), o.Read64(base+off)

@@ -1255,6 +1255,7 @@ func (c *CPU) squashBoundary(seq uint64, inclusive bool, pc int) {
 
 	// Drop completion events of squashed entries (inROB re-check also
 	// guards, but trimming keeps the event map small).
+	//lint:allow mapiter keep is a pure seq predicate and every write stays keyed by at, so iterations touch disjoint state
 	for at, evs := range c.events {
 		out := evs[:0]
 		for _, ev := range evs {

@@ -53,6 +53,7 @@ func GeomeanErr(xs []float64) (float64, error) {
 
 // Ratio returns a/b, or 0 when b is zero.
 func Ratio(a, b float64) float64 {
+	//lint:allow floateq exact-zero divisor sentinel; any nonzero b, however tiny, is a meaningful denominator
 	if b == 0 {
 		return 0
 	}

@@ -48,6 +48,17 @@ func DirsOf(taken []bool) uint8 {
 // Dir returns direction i of the key (0 = anchor branch).
 func (k TraceKey) Dir(i int) bool { return k.Dirs>>uint(i)&1 == 1 }
 
+// Less orders keys by (AnchorPC, Dirs). It exists so LRU victim selection
+// in this package and cfgcache can break lruTick ties deterministically:
+// selection must be a pure function of cache contents, never of map
+// iteration order.
+func (k TraceKey) Less(o TraceKey) bool {
+	if k.AnchorPC != o.AnchorPC {
+		return k.AnchorPC < o.AnchorPC
+	}
+	return k.Dirs < o.Dirs
+}
+
 // Config sets the T-Cache geometry.
 type Config struct {
 	// Entries bounds the number of tracked trace keys.
@@ -185,10 +196,15 @@ func (t *TCache) lookup(key TraceKey, create bool) *entry {
 		return nil
 	}
 	if len(t.entries) >= t.cfg.Entries {
-		// Evict the LRU entry.
+		// Evict the LRU entry. lruTick ties are impossible through this
+		// API today (every lookup bumps t.tick), but the TraceKey
+		// tie-break makes selection a total order over entries rather
+		// than leaving determinism to that accident.
 		var victim *entry
+		//lint:allow mapiter victim selection minimizes over the total order (lruTick, TraceKey), so the result is iteration-order independent
 		for _, e := range t.entries {
-			if victim == nil || e.lruTick < victim.lruTick {
+			if victim == nil || e.lruTick < victim.lruTick ||
+				(e.lruTick == victim.lruTick && e.key.Less(victim.key)) {
 				victim = e
 			}
 		}
