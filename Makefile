@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke bench figures check
+.PHONY: all build test race vet lint bench-smoke bench figures trace-smoke check
 
 all: check
 
@@ -37,5 +37,18 @@ bench:
 
 figures:
 	$(GO) run ./cmd/figures
+
+# End-to-end observability smoke test: export a small sweep's Chrome trace
+# and pipeline view twice, require byte-identical files (determinism is a
+# hard contract, see ARCHITECTURE.md "Observability"), validate the JSON
+# shape, and re-parse the pipeline view with the strict cmd/pipeview reader.
+trace-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/dynaspam -bench BP,NW -j 2 -trace "$$dir/a.json" -pipeview "$$dir/a.kanata" >/dev/null && \
+	$(GO) run ./cmd/dynaspam -bench BP,NW -j 1 -trace "$$dir/b.json" -pipeview "$$dir/b.kanata" >/dev/null && \
+	cmp "$$dir/a.json" "$$dir/b.json" && cmp "$$dir/a.kanata" "$$dir/b.kanata" && \
+	grep -q '^{"traceEvents":\[$$' "$$dir/a.json" && \
+	$(GO) run ./cmd/pipeview -validate "$$dir/a.kanata" && \
+	echo "trace-smoke OK"
 
 check: build vet lint test race

@@ -30,6 +30,7 @@ import (
 	"dynaspam/internal/experiments"
 	"dynaspam/internal/fabric"
 	"dynaspam/internal/mapper"
+	"dynaspam/internal/probe"
 	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
@@ -224,6 +225,40 @@ func BenchmarkBaselinePipeline(b *testing.B) {
 		cycles += r.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkTraceOverhead pins the observability contract: a simulation with
+// tracing disabled (nil probe) must cost exactly what it cost before the
+// probe points existed — compare the disabled sub-benchmark's ns/op and
+// allocs/op against BenchmarkBaselinePipeline history. The enabled
+// sub-benchmark documents the price of full event recording for scale.
+func BenchmarkTraceOverhead(b *testing.B) {
+	w, err := workloads.ByAbbrev("NW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Mode = core.ModeAccel
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunProbedCtx(context.Background(), w, params, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		events := 0
+		for i := 0; i < b.N; i++ {
+			p := probe.New(0)
+			if _, err := experiments.RunProbedCtx(context.Background(), w, params, p); err != nil {
+				b.Fatal(err)
+			}
+			events = len(p.Events())
+		}
+		b.ReportMetric(float64(events), "events/run")
+	})
 }
 
 // BenchmarkParallelSweep measures the wall-clock effect of fanning the

@@ -13,18 +13,33 @@
 // workers and prints one summary row per benchmark. With -journal, every
 // simulation appends one JSON line (wall time, cycles, IPC, counters,
 // verification status) to the given file.
+//
+// Observability:
+//
+//	dynaspam -bench NW -trace out.json        # Chrome trace events (Perfetto)
+//	dynaspam -bench NW -pipeview out.kanata   # Konata-style pipeline view
+//	dynaspam -bench all -cpuprofile cpu.prof  # profile the simulator itself
+//
+// -trace and -pipeview attach a cycle-accurate probe to every simulation
+// and export the recorded events after the sweep; output is deterministic:
+// byte-identical across repeated runs and across -j worker counts. Render
+// a pipeline view in the terminal with cmd/pipeview.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dynaspam/internal/core"
 	"dynaspam/internal/energy"
 	"dynaspam/internal/experiments"
+	"dynaspam/internal/probe"
 	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
@@ -40,8 +55,45 @@ func main() {
 		journalPath = flag.String("journal", "", "write a JSON-lines run journal to this file")
 		progress    = flag.Bool("progress", false, "report live sweep progress on stderr")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+		pipePath    = flag.String("pipeview", "", "write a Konata-style pipeline view (render with cmd/pipeview)")
+		traceLimit  = flag.Int("trace-limit", 0, "cap recorded events per simulation (0 = unlimited)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		tb := stats.NewTable("Abbrev", "Name", "Domain")
@@ -96,14 +148,29 @@ func main() {
 		}()
 	}
 
+	// With -trace/-pipeview, each simulation gets its own probe (workers
+	// never share one), pre-allocated in input order so the merged export
+	// is identical at any -j.
+	tracing := *tracePath != "" || *pipePath != ""
+	var probes []*probe.Probe
+	if tracing {
+		probes = make([]*probe.Probe, len(ws))
+		for i := range ws {
+			probes[i] = probe.New(*traceLimit)
+		}
+	}
+
 	// Every cell is independent, so even the single-benchmark case goes
 	// through the runner: journaling and progress behave identically.
 	var jobs []runner.Job[*experiments.RunResult]
-	for _, w := range ws {
-		w := w
+	for i, w := range ws {
+		i, w := i, w
 		jobs = append(jobs, runner.Job[*experiments.RunResult]{
 			Label: fmt.Sprintf("%s/%v", w.Abbrev, mode),
 			Run: func(ctx context.Context) (*experiments.RunResult, error) {
+				if tracing {
+					return experiments.RunProbedCtx(ctx, w, params, probes[i])
+				}
 				return experiments.RunCtx(ctx, w, params)
 			},
 		})
@@ -117,11 +184,43 @@ func main() {
 		os.Exit(1)
 	}
 
+	if tracing {
+		var runs []probe.TraceRun
+		for i, w := range ws {
+			runs = append(runs, probes[i].TraceRun(fmt.Sprintf("%s/%v", w.Abbrev, mode)))
+		}
+		if *tracePath != "" {
+			if err := exportFile(*tracePath, runs, probe.WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *pipePath != "" {
+			if err := exportFile(*pipePath, runs, probe.WritePipeView); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if len(ws) == 1 {
 		printDetailed(ws[0], mode, results[0])
 		return
 	}
 	printSummary(mode, results)
+}
+
+// exportFile writes runs to path with the given exporter.
+func exportFile(path string, runs []probe.TraceRun, write func(w io.Writer, runs []probe.TraceRun) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectWorkloads resolves -bench: one abbreviation, a comma-separated
@@ -144,12 +243,15 @@ func selectWorkloads(spec string) ([]*workloads.Workload, error) {
 // printSummary renders one row per benchmark of a multi-benchmark sweep.
 func printSummary(mode core.Mode, results []*experiments.RunResult) {
 	fmt.Printf("%d benchmarks under %v\n\n", len(results), mode)
-	tb := stats.NewTable("Bench", "Cycles", "Insts", "IPC", "Fabric", "Mapped", "Offloaded", "Energy pJ")
+	tb := stats.NewTable("Bench", "Cycles", "Insts", "IPC", "Fabric", "Mapped", "Offloaded",
+		"InvLat", "InvII", "T$ hit", "C$ hit", "Energy pJ")
 	for _, r := range results {
 		tb.AddRow(r.Workload,
 			fmt.Sprint(r.Cycles), fmt.Sprint(r.Committed), fmt.Sprintf("%.2f", r.IPC),
 			stats.Pct(float64(r.FabricOps)/float64(r.Committed)),
 			fmt.Sprint(r.MappedTraces), fmt.Sprint(r.OffloadedTraces),
+			fmt.Sprintf("%.1f", r.MeanInvocLatency()), fmt.Sprintf("%.1f", r.MeanInvocII()),
+			stats.Pct(r.TCache.HitRate()), stats.Pct(r.Cfg.HitRate()),
 			fmt.Sprintf("%.0f", r.Energy.Total()))
 	}
 	fmt.Print(tb.String())
@@ -170,6 +272,10 @@ func printDetailed(w *workloads.Workload, mode core.Mode, res *experiments.RunRe
 	tb.AddRowf("invocations", fmt.Sprintf("%d", res.Core.Offloads))
 	tb.AddRowf("invocation commits", fmt.Sprintf("%d", res.Core.TraceCommits))
 	tb.AddRowf("invocation squashes", fmt.Sprintf("%d", res.Core.TraceSquashes))
+	tb.AddRowf("mean invocation latency", fmt.Sprintf("%.1f cycles", res.MeanInvocLatency()))
+	tb.AddRowf("mean initiation interval", fmt.Sprintf("%.1f cycles", res.MeanInvocII()))
+	tb.AddRowf("T-Cache hit rate", stats.Pct(res.TCache.HitRate()))
+	tb.AddRowf("config-cache hit rate", stats.Pct(res.Cfg.HitRate()))
 	tb.AddRowf("avg config lifetime", res.AvgConfigLife)
 	tb.AddRowf("reconfigurations", fmt.Sprintf("%d", res.Reconfigs))
 	tb.AddRowf("branch mispredicts", fmt.Sprintf("%d", res.CPU.BranchMispredicts))

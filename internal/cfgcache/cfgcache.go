@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"dynaspam/internal/fabric"
+	"dynaspam/internal/probe"
 	"dynaspam/internal/tcache"
 )
 
@@ -64,6 +65,7 @@ type Cache struct {
 	preds   int
 
 	stats Stats
+	probe *probe.Probe
 }
 
 // Stats counts cache activity.
@@ -73,6 +75,18 @@ type Stats struct {
 	Evictions   uint64
 	Predictions uint64
 	Decays      uint64
+	// Hits/Misses count Lookup calls that found / did not find an entry.
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // New returns an empty configuration cache.
@@ -102,11 +116,19 @@ func (c *Cache) Store(key tcache.TraceKey, fc *fabric.Config) *Entry {
 			}
 			delete(c.entries, victim.Key)
 			c.stats.Evictions++
+			c.probe.CfgEvicted(victim.Key.AnchorPC, victim.Key.Dirs)
 		}
 	}
 	e := &Entry{Key: key, Cfg: fc, State: StateMapped, lruTick: c.tick}
 	c.entries[key] = e
 	c.stats.Stored++
+	if c.probe != nil {
+		traceLen := 0
+		if fc != nil { // tests store placeholder configs
+			traceLen = len(fc.Insts)
+		}
+		c.probe.CfgStored(key.AnchorPC, key.Dirs, traceLen)
+	}
 	return e
 }
 
@@ -114,8 +136,11 @@ func (c *Cache) Store(key tcache.TraceKey, fc *fabric.Config) *Entry {
 func (c *Cache) Lookup(key tcache.TraceKey) *Entry {
 	e := c.entries[key]
 	if e != nil {
+		c.stats.Hits++
 		c.tick++
 		e.lruTick = c.tick
+	} else {
+		c.stats.Misses++
 	}
 	return e
 }
@@ -135,6 +160,7 @@ func (c *Cache) Predicted(key tcache.TraceKey) (State, bool) {
 	if e.State == StateMapped && e.counter >= c.cfg.Threshold {
 		e.State = StateReady
 		c.stats.Ready++
+		c.probe.CfgReady(key.AnchorPC, key.Dirs)
 	}
 	c.maybeDecay()
 	return e.State, true
@@ -148,6 +174,9 @@ func (c *Cache) Len() int { return len(c.entries) }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// SetProbe attaches the observability probe (nil disables; the default).
+func (c *Cache) SetProbe(p *probe.Probe) { c.probe = p }
 
 func (c *Cache) maybeDecay() {
 	if c.cfg.DecayInterval <= 0 {
@@ -183,6 +212,7 @@ type Fabrics struct {
 	lifetimes   []uint64 // completed configuration lifetimes
 	reconfigs   uint64
 	invocations uint64
+	probe       *probe.Probe
 }
 
 // NewFabrics builds n fabrics of geometry g.
@@ -230,6 +260,7 @@ func (f *Fabrics) Acquire(key tcache.TraceKey, cfg *fabric.Config) (*fabric.Fabr
 	f.lru[victim] = f.tick
 	f.reconfigs++
 	inst.Configure(cfg, f.ReconfigPenalty)
+	f.probe.Reconfig(victim, f.ReconfigPenalty)
 	return inst, f.ReconfigPenalty
 }
 
@@ -276,3 +307,12 @@ func (f *Fabrics) NumFabrics() int { return len(f.insts) }
 
 // Instance returns fabric i (for stats aggregation).
 func (f *Fabrics) Instance(i int) *fabric.Fabric { return f.insts[i] }
+
+// SetProbe attaches the observability probe to the manager and every
+// managed fabric instance (nil disables; the default).
+func (f *Fabrics) SetProbe(p *probe.Probe) {
+	f.probe = p
+	for _, inst := range f.insts {
+		inst.SetProbe(p)
+	}
+}

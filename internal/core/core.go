@@ -21,6 +21,7 @@ import (
 	"dynaspam/internal/mapper"
 	"dynaspam/internal/mem"
 	"dynaspam/internal/ooo"
+	"dynaspam/internal/probe"
 	"dynaspam/internal/program"
 	"dynaspam/internal/tcache"
 )
@@ -157,6 +158,13 @@ type System struct {
 	lastStoreDone int64
 
 	stats Stats
+
+	// probe is the attached observability tracer; nil (the default) means
+	// tracing is disabled and every probe call below is a nil-receiver
+	// no-op. inflightTotal mirrors the sum of inflight for the FIFO
+	// occupancy probe point.
+	probe         *probe.Probe
+	inflightTotal int
 }
 
 type keyHealth struct {
@@ -212,6 +220,35 @@ func (s *System) Params() Params { return s.params }
 // Stats returns the framework counters.
 func (s *System) Stats() Stats { return s.stats }
 
+// Probe returns the attached observability probe (nil when disabled).
+func (s *System) Probe() *probe.Probe { return s.probe }
+
+// SetProbe attaches p to the whole system: the pipeline hooks plus the
+// detection, configuration-cache, and fabric probe points. It wires p's
+// clock to the pipeline's cycle counter and its disassembler to the
+// program, so exported events are cycle-stamped and labelled. In baseline
+// mode — where New installs no hooks at all — it installs an observe-only
+// hook set that feeds the probe without training the T-Cache or starting
+// mapping sessions, so baseline behavior is bit-identical with and without
+// tracing. Call with nil to detach (baseline observe-only hooks stay
+// installed but become no-ops).
+func (s *System) SetProbe(p *probe.Probe) {
+	s.probe = p
+	p.SetClock(s.cpu.Cycle)
+	p.SetDisasm(func(pc int) string {
+		if !s.prog.Valid(pc) {
+			return ""
+		}
+		return s.prog.At(pc).String()
+	})
+	s.tc.SetProbe(p)
+	s.cc.SetProbe(p)
+	s.fabs.SetProbe(p)
+	if s.params.Mode == ModeBaseline && p != nil {
+		s.cpu.SetHooks(s.observeHooks())
+	}
+}
+
 // MappedTraces returns how many distinct traces were successfully mapped.
 func (s *System) MappedTraces() int { return len(s.mappedKeys) }
 
@@ -230,11 +267,47 @@ func (s *System) RunCtx(ctx context.Context) error {
 	return s.cpu.RunCtx(ctx)
 }
 
+// observeHooks is the baseline-mode hook set: pipeline lifecycle events
+// flow to the probe, but nothing feeds trace detection or mapping, so a
+// probed baseline run is cycle-identical to an unprobed one.
+func (s *System) observeHooks() ooo.Hooks {
+	return ooo.Hooks{
+		OnFetch: func(pc int, seq uint64) {
+			if s.probe != nil {
+				s.probe.Fetch(s.cpu.Cycle(), seq, pc)
+			}
+		},
+		OnIssue: func(e *ooo.RSEntry, fu isa.FUType, unit int) {
+			if s.probe != nil {
+				s.probe.Issue(s.cpu.Cycle(), e.Seq(), e.PC(), int64(fu), int64(unit))
+			}
+		},
+		OnWriteback: func(pc int, seq uint64) {
+			if s.probe != nil {
+				s.probe.Writeback(s.cpu.Cycle(), seq, pc)
+			}
+		},
+		OnCommit: func(pc int, seq uint64, op isa.Op) {
+			if s.probe != nil {
+				s.probe.Commit(s.cpu.Cycle(), seq, pc)
+			}
+		},
+		OnSquash: func(seqBoundary uint64) {
+			if s.probe != nil {
+				s.probe.PipelineSquash(s.cpu.Cycle(), seqBoundary)
+			}
+		},
+	}
+}
+
 // hooks wires the framework into the pipeline.
 func (s *System) hooks() ooo.Hooks {
 	return ooo.Hooks{
 		BeforeFetch: s.beforeFetch,
 		OnFetch: func(pc int, seq uint64) {
+			if s.probe != nil {
+				s.probe.Fetch(s.cpu.Cycle(), seq, pc)
+			}
 			if s.session != nil {
 				s.session.NoteFetched(pc, seq)
 				s.checkSession()
@@ -259,18 +332,27 @@ func (s *System) hooks() ooo.Hooks {
 			return 0
 		},
 		OnIssue: func(e *ooo.RSEntry, fu isa.FUType, unit int) {
+			if s.probe != nil {
+				s.probe.Issue(s.cpu.Cycle(), e.Seq(), e.PC(), int64(fu), int64(unit))
+			}
 			if s.session != nil {
 				s.session.NoteIssued(e, fu, unit)
 				s.checkSession()
 			}
 		},
 		OnWriteback: func(pc int, seq uint64) {
+			if s.probe != nil {
+				s.probe.Writeback(s.cpu.Cycle(), seq, pc)
+			}
 			if s.session != nil {
 				s.session.NoteWriteback(pc, seq)
 				s.checkSession()
 			}
 		},
 		OnCommit: func(pc int, seq uint64, op isa.Op) {
+			if s.probe != nil {
+				s.probe.Commit(s.cpu.Cycle(), seq, pc)
+			}
 			if s.session != nil {
 				s.stats.MappedCommits++
 			}
@@ -279,6 +361,9 @@ func (s *System) hooks() ooo.Hooks {
 			s.noteBranch(pc, taken)
 		},
 		OnSquash: func(seqBoundary uint64) {
+			if s.probe != nil {
+				s.probe.PipelineSquash(s.cpu.Cycle(), seqBoundary)
+			}
 			if s.session != nil {
 				s.session.Abort()
 				s.checkSession()
@@ -312,8 +397,18 @@ func (s *System) checkSession() {
 		s.cc.Store(s.sessionKey, cfg)
 		s.mappedKeys[s.sessionKey] = true
 		s.stats.TracesMapped++
+		if s.probe != nil {
+			s.probe.MapEnd(s.cpu.Cycle(), s.sessionKey.AnchorPC, probe.MapDone, len(cfg.Insts))
+		}
 		s.session = nil
 	case mapper.SessionFailed:
+		if s.probe != nil {
+			outcome := probe.MapFailed
+			if s.session.FailReason() == mapper.FailAborted {
+				outcome = probe.MapAborted
+			}
+			s.probe.MapEnd(s.cpu.Cycle(), s.sessionKey.AnchorPC, outcome, 0)
+		}
 		if s.session.FailReason() == mapper.FailAborted {
 			s.stats.MappingAborted++
 			// A trace whose mapping keeps aborting (squashes or
@@ -362,6 +457,7 @@ func (s *System) beforeFetch(pc int) (*ooo.TraceInject, bool) {
 		if s.blockOnce[key] {
 			delete(s.blockOnce, key)
 			s.stats.OffloadDenied++
+			s.probe.TraceDenied(s.cpu.Cycle(), pc, probe.DeniedBlockOnce)
 			return nil, false
 		}
 		cfg := entry.Cfg
@@ -369,6 +465,7 @@ func (s *System) beforeFetch(pc int) (*ooo.TraceInject, bool) {
 			// Input FIFOs full: let the host execute this occurrence
 			// rather than stall fetch behind a long drain.
 			s.stats.OffloadDenied++
+			s.probe.TraceDenied(s.cpu.Cycle(), pc, probe.DeniedFIFO)
 			return nil, false
 		}
 		return s.inject(key, cfg), false
@@ -382,6 +479,7 @@ func (s *System) beforeFetch(pc int) (*ooo.TraceInject, bool) {
 	s.session = mapper.NewSession(trace, s.params.Geometry, pc, exitPC)
 	s.sessionKey = key
 	s.stats.MappingSessions++
+	s.probe.MapStart(s.cpu.Cycle(), pc, key.Dirs)
 	return nil, false
 }
 
@@ -393,8 +491,16 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 	}
 	s.fabs.NoteInvocation(cfg)
 	s.inflight[cfg]++
+	s.inflightTotal++
 	s.offloadedKeys[key] = true
 	s.stats.Offloads++
+	// The running offload count doubles as the invocation id in probe
+	// events, correlating inject/evaluate/commit/squash across tracks.
+	invocID := s.stats.Offloads
+	if s.probe != nil {
+		s.probe.TraceInject(s.cpu.Cycle(), invocID, cfg.StartPC, cfg.ExitPC, len(cfg.Insts))
+		s.probe.FIFOOccupancy(s.cpu.Cycle(), s.inflightTotal)
+	}
 	h := s.health[key]
 	h.offloads++
 	s.health[key] = h
@@ -423,6 +529,9 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 	tr.Evaluate = func(in ooo.TraceInput) ooo.TraceResult {
 		delay := s.pendingPenalty[cfg]
 		delete(s.pendingPenalty, cfg)
+		if s.probe != nil {
+			s.probe.TraceEvalStart(in.Cycle, invocID, cfg.StartPC, int64(delay))
+		}
 		env := fabric.EvalEnv{
 			ReadMem:      in.ReadMem,
 			AccessMem:    s.cpu.Hierarchy().AccessData,
@@ -446,11 +555,17 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 		}
 		s.stats.InvocLatencySum += uint64(res.Latency)
 		s.stats.InvocCount++
+		ii := int64(-1)
 		if last, ok := s.lastEval[cfg]; ok && in.Cycle > last {
 			s.stats.InvocIISum += in.Cycle - last
 			s.stats.InvocIICount++
+			ii = int64(in.Cycle - last)
 		}
 		s.lastEval[cfg] = in.Cycle
+		if s.probe != nil {
+			end := in.Cycle + uint64(res.Latency)
+			s.probe.TraceEvalEnd(end, invocID, cfg.StartPC, int64(res.Latency), int64(res.Ops), ii)
+		}
 		return res
 	}
 	// The FIFO entries free when the invocation completes on the fabric;
@@ -460,12 +575,19 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 		if !fifoFreed {
 			fifoFreed = true
 			s.inflight[cfg]--
+			s.inflightTotal--
+			if s.probe != nil {
+				s.probe.FIFOOccupancy(s.cpu.Cycle(), s.inflightTotal)
+			}
 		}
 	}
 	tr.OnComplete = free
 	tr.OnCommit = func(res *ooo.TraceResult) {
 		free()
 		s.stats.TraceCommits++
+		if s.probe != nil {
+			s.probe.TraceCommit(s.cpu.Cycle(), invocID, cfg.StartPC, int64(res.Ops))
+		}
 		h := s.health[key]
 		h.commits++
 		s.health[key] = h
@@ -476,6 +598,9 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 	tr.OnSquash = func(kind ooo.SquashKind) {
 		free()
 		s.stats.TraceSquashes++
+		if s.probe != nil {
+			s.probe.TraceSquash(s.cpu.Cycle(), invocID, cfg.StartPC, int64(kind), kind.String())
+		}
 		switch kind {
 		case ooo.SquashBranchExit:
 			s.stats.BranchExits++

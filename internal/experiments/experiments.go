@@ -23,12 +23,15 @@ import (
 	"context"
 	"fmt"
 
+	"dynaspam/internal/cfgcache"
 	"dynaspam/internal/core"
 	"dynaspam/internal/energy"
 	"dynaspam/internal/fabric"
 	"dynaspam/internal/ooo"
+	"dynaspam/internal/probe"
 	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
+	"dynaspam/internal/tcache"
 	"dynaspam/internal/workloads"
 )
 
@@ -58,6 +61,30 @@ type RunResult struct {
 	Core   core.Stats
 	CPU    ooo.Stats
 	Fabric fabric.Stats
+	TCache tcache.Stats
+	Cfg    cfgcache.Stats
+
+	// Probe is the observability tracer attached to the run via
+	// RunProbedCtx (nil for plain runs).
+	Probe *probe.Probe
+}
+
+// MeanInvocLatency returns the average fabric-invocation latency in cycles
+// (0 when nothing was offloaded).
+func (r *RunResult) MeanInvocLatency() float64 {
+	if r.Core.InvocCount == 0 {
+		return 0
+	}
+	return float64(r.Core.InvocLatencySum) / float64(r.Core.InvocCount)
+}
+
+// MeanInvocII returns the average initiation interval between successive
+// invocations of the same configuration (0 when fewer than two occurred).
+func (r *RunResult) MeanInvocII() float64 {
+	if r.Core.InvocIICount == 0 {
+		return 0
+	}
+	return float64(r.Core.InvocIISum) / float64(r.Core.InvocIICount)
 }
 
 // JournalMetrics implements runner.Metricser: the domain measurements
@@ -65,7 +92,7 @@ type RunResult struct {
 // golden-memory check passed, so verified is always 1 here; failed runs
 // journal as status "error" with no metrics.
 func (r *RunResult) JournalMetrics() map[string]float64 {
-	return map[string]float64{
+	m := map[string]float64{
 		"cycles":             float64(r.Cycles),
 		"committed":          float64(r.Committed),
 		"ipc":                r.IPC,
@@ -80,7 +107,20 @@ func (r *RunResult) JournalMetrics() map[string]float64 {
 		"trace_squashes":     float64(r.Core.TraceSquashes),
 		"energy_pj":          r.Energy.Total(),
 		"verified":           1,
+		// Diagnostics the simulator always collects (probe or not).
+		"invoc_latency_mean": r.MeanInvocLatency(),
+		"invoc_ii_mean":      r.MeanInvocII(),
+		"tcache_hit_rate":    r.TCache.HitRate(),
+		"cfgcache_hit_rate":  r.Cfg.HitRate(),
 	}
+	// With a probe attached, fold its registry in: counters plus histogram
+	// count/sum/mean/bucket keys. Key sets are disjoint by construction
+	// (probe metric names never collide with the literals above), and each
+	// iteration writes only its own key.
+	for k, v := range r.Probe.Metrics().Snapshot() {
+		m[k] = v
+	}
+	return m
 }
 
 // Run simulates workload w under params, verifies architectural correctness
@@ -94,8 +134,20 @@ func Run(w *workloads.Workload, params core.Params) (*RunResult, error) {
 // once ctx is done, which parallel sweeps use to stop in-flight cells after
 // another cell fails.
 func RunCtx(ctx context.Context, w *workloads.Workload, params core.Params) (*RunResult, error) {
+	return RunProbedCtx(ctx, w, params, nil)
+}
+
+// RunProbedCtx is RunCtx with an observability probe attached to the
+// system for the whole simulation. The returned result carries p (in its
+// Probe field) so callers can export the event trace and so
+// JournalMetrics includes the probe's counters and histograms. A nil p is
+// exactly RunCtx: tracing is disabled and adds no overhead.
+func RunProbedCtx(ctx context.Context, w *workloads.Workload, params core.Params, p *probe.Probe) (*RunResult, error) {
 	m := w.NewMemory()
 	sys := core.New(params, w.Prog, m)
+	if p != nil {
+		sys.SetProbe(p)
+	}
 	if err := sys.RunCtx(ctx); err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Abbrev, params.Mode, err)
 	}
@@ -151,6 +203,9 @@ func RunCtx(ctx context.Context, w *workloads.Workload, params core.Params) (*Ru
 		Core:            cs,
 		CPU:             cpu,
 		Fabric:          fstat,
+		TCache:          sys.TCache().Stats(),
+		Cfg:             sys.CfgCache().Stats(),
+		Probe:           p,
 	}
 	if res.Committed >= res.FabricOps+res.MappedOps {
 		res.HostOps = res.Committed - res.FabricOps - res.MappedOps

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/probe"
+	"dynaspam/internal/runner"
+	"dynaspam/internal/workloads"
+)
+
+// probedSweep runs the fast suite under accel-spec with a probe per cell on
+// j workers and returns both exports, mirroring cmd/dynaspam: probes are
+// pre-allocated in input order, so the merged export must not depend on
+// which worker ran which cell.
+func probedSweep(t *testing.T, ws []*workloads.Workload, j int) (chromeOut, pipeOut []byte) {
+	t.Helper()
+	p := params(core.ModeAccel)
+	probes := make([]*probe.Probe, len(ws))
+	jobs := make([]runner.Job[*RunResult], len(ws))
+	for i, w := range ws {
+		i, w := i, w
+		probes[i] = probe.New(0)
+		jobs[i] = runner.Job[*RunResult]{
+			Label: w.Abbrev,
+			Run: func(ctx context.Context) (*RunResult, error) {
+				return RunProbedCtx(ctx, w, p, probes[i])
+			},
+		}
+	}
+	if _, err := runner.Run(context.Background(), runner.Options{Parallelism: j}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	runs := make([]probe.TraceRun, len(ws))
+	for i, w := range ws {
+		runs[i] = probes[i].TraceRun(w.Abbrev)
+	}
+	var cb, pb bytes.Buffer
+	if err := probe.WriteChromeTrace(&cb, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.WritePipeView(&pb, runs); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), pb.Bytes()
+}
+
+// TestProbedExportsDeterministicAcrossWorkers is the golden determinism lock
+// for the observability layer: both exporters must produce byte-identical
+// files whether the probed sweep ran serially or on 8 workers. (The runner
+// already guarantees result order; this additionally pins that probes
+// record identical event streams regardless of scheduling.)
+func TestProbedExportsDeterministicAcrossWorkers(t *testing.T) {
+	ws := fast(t)
+	chrome1, pipe1 := probedSweep(t, ws, 1)
+	chrome8, pipe8 := probedSweep(t, ws, 8)
+	if !bytes.Equal(chrome1, chrome8) {
+		t.Errorf("Chrome trace export differs between 1 and 8 workers (%d vs %d bytes)",
+			len(chrome1), len(chrome8))
+	}
+	if !bytes.Equal(pipe1, pipe8) {
+		t.Errorf("pipeline-view export differs between 1 and 8 workers (%d vs %d bytes)",
+			len(pipe1), len(pipe8))
+	}
+	// The Chrome export must also be valid trace-event JSON with one
+	// process per run.
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome1, &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.Pid] = true
+	}
+	if len(pids) != len(ws) {
+		t.Errorf("export has %d pids, want one per run (%d)", len(pids), len(ws))
+	}
+	// And the pipeline view must survive its own strict parser.
+	runs, err := probe.ParsePipeView(bytes.NewReader(pipe1))
+	if err != nil {
+		t.Fatalf("pipeline view does not re-parse: %v", err)
+	}
+	if len(runs) != len(ws) {
+		t.Errorf("pipeline view has %d runs, want %d", len(runs), len(ws))
+	}
+}
+
+// TestProbeEventOrdering checks the per-instruction lifecycle invariant the
+// pipeline exporters rely on: for every sequence number, events appear in
+// program-order stages with non-decreasing cycles — fetch ≤ issue ≤
+// writeback ≤ commit.
+func TestProbeEventOrdering(t *testing.T) {
+	w, err := workloads.ByAbbrev("PF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := probe.New(0)
+	if _, err := RunProbedCtx(context.Background(), w, params(core.ModeAccel), p); err != nil {
+		t.Fatal(err)
+	}
+	type life struct {
+		fetch, issue, wb, commit uint64
+		has                      [4]bool
+	}
+	lives := map[uint64]*life{}
+	for _, ev := range p.Events() {
+		var slot int
+		switch ev.Kind {
+		case probe.EvFetch:
+			slot = 0
+		case probe.EvIssue:
+			slot = 1
+		case probe.EvWriteback:
+			slot = 2
+		case probe.EvCommit:
+			slot = 3
+		default:
+			continue
+		}
+		l := lives[ev.Seq]
+		if l == nil {
+			l = &life{}
+			lives[ev.Seq] = l
+		}
+		if l.has[slot] {
+			t.Fatalf("seq %d: duplicate %v event", ev.Seq, ev.Kind)
+		}
+		l.has[slot] = true
+		switch slot {
+		case 0:
+			l.fetch = ev.Cycle
+		case 1:
+			l.issue = ev.Cycle
+		case 2:
+			l.wb = ev.Cycle
+		case 3:
+			l.commit = ev.Cycle
+		}
+	}
+	if len(lives) == 0 {
+		t.Fatal("probe recorded no pipeline lifecycle events")
+	}
+	committed := 0
+	for seq, l := range lives {
+		if l.has[1] && !l.has[0] {
+			t.Fatalf("seq %d: issued without fetch", seq)
+		}
+		if l.has[0] && l.has[1] && l.issue < l.fetch {
+			t.Errorf("seq %d: issue@%d before fetch@%d", seq, l.issue, l.fetch)
+		}
+		if l.has[1] && l.has[2] && l.wb < l.issue {
+			t.Errorf("seq %d: writeback@%d before issue@%d", seq, l.wb, l.issue)
+		}
+		if l.has[3] {
+			committed++
+			if l.has[2] && l.commit < l.wb {
+				t.Errorf("seq %d: commit@%d before writeback@%d", seq, l.commit, l.wb)
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no instruction committed in the probed run")
+	}
+}
+
+// TestProbedJournalMetrics asserts the probe's registry drains into the run
+// journal: every cell's Metrics map must carry the surfaced diagnostics
+// (mean invocation latency/II, cache hit rates) plus the probe's histogram
+// and counter snapshot.
+func TestProbedJournalMetrics(t *testing.T) {
+	ws := fast(t)
+	var buf bytes.Buffer
+	j := runner.NewJournal(&buf)
+	p := params(core.ModeAccel)
+	var jobs []runner.Job[*RunResult]
+	for _, w := range ws {
+		w := w
+		pr := probe.New(0)
+		jobs = append(jobs, runner.Job[*RunResult]{
+			Label: w.Abbrev,
+			Run: func(ctx context.Context) (*RunResult, error) {
+				return RunProbedCtx(ctx, w, p, pr)
+			},
+		})
+	}
+	if _, err := runner.Run(context.Background(), runner.Options{Parallelism: 2, Journal: j}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(ws) {
+		t.Fatalf("journal has %d lines, want %d", len(lines), len(ws))
+	}
+	want := []string{
+		"invoc_latency_mean", "invoc_ii_mean", "tcache_hit_rate", "cfgcache_hit_rate",
+		"invoc_latency_count", "invoc_ii_count", "trace_len_count", "stripe_occupancy_count",
+	}
+	for _, ln := range lines {
+		var e runner.Entry
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("invalid journal line %q: %v", ln, err)
+		}
+		for _, k := range want {
+			if _, ok := e.Metrics[k]; !ok {
+				t.Errorf("%s: journal metrics missing %q", e.Label, k)
+			}
+		}
+		if e.Metrics["invoc_latency_count"] <= 0 {
+			t.Errorf("%s: probed accel run observed no invocation latencies", e.Label)
+		}
+	}
+}

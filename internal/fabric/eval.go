@@ -6,6 +6,7 @@ import (
 	"dynaspam/internal/isa"
 	"dynaspam/internal/memdep"
 	"dynaspam/internal/ooo"
+	"dynaspam/internal/probe"
 )
 
 // EvalEnv supplies the environment for one invocation: the memory view at
@@ -78,6 +79,7 @@ type Fabric struct {
 	cfg       *Config
 	reconfigs uint64
 	stats     Stats
+	probe     *probe.Probe
 }
 
 // New returns a fabric with no configuration loaded.
@@ -99,6 +101,9 @@ func (f *Fabric) Configure(cfg *Config, penalty int) int {
 
 // Configured returns the loaded configuration (nil if none).
 func (f *Fabric) Configured() *Config { return f.cfg }
+
+// SetProbe attaches the observability probe (nil disables; the default).
+func (f *Fabric) SetProbe(p *probe.Probe) { f.probe = p }
 
 // Reconfigurations returns how many times the fabric was reprogrammed.
 func (f *Fabric) Reconfigurations() uint64 { return f.reconfigs }
@@ -262,6 +267,7 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 					res.ActualExitPC = mi.PC + 1
 				}
 				f.stats.EarlyExits++
+				f.probe.FabricExit(uint64(inv.Now), mi.PC, res.ActualExitPC)
 				done[i] = start[i] + lat
 				f.finish(&res, cfg, inv.Now, maxDone, n)
 				return res
@@ -295,6 +301,7 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 				for _, s := range stores {
 					if addrOverlap(s.addr, addr) && start[i] < done[s.idx] {
 						f.stats.Violations++
+						f.probe.FabricViolation(uint64(inv.Now), mi.PC)
 						res.MemViolation = true
 						if env.MemDep != nil {
 							env.MemDep.Violation(uint64(mi.PC), uint64(cfg.Insts[s.idx].PC))
@@ -356,6 +363,8 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 }
 
 // finish fills the result's latency, op count, and power-gating statistics.
+// It runs on every return path of Run, so it is also the one fabric-level
+// probe point covering committed, early-exited, and violated invocations.
 func (f *Fabric) finish(res *ooo.TraceResult, cfg *Config, now, maxDone int64, ops int) {
 	lat := maxDone + 1 - now // live-out/commit synchronization
 	if lat < 1 {
@@ -367,6 +376,19 @@ func (f *Fabric) finish(res *ooo.TraceResult, cfg *Config, now, maxDone int64, o
 	total := uint64(f.Geom.Stripes * f.Geom.PEsPerStripe())
 	f.stats.ActivePECycles += active * uint64(res.Latency)
 	f.stats.IdlePECycles += (total - active) * uint64(res.Latency)
+	if f.probe != nil {
+		aborted := !res.ExitMatches || res.MemViolation
+		f.probe.FabricEval(uint64(now), cfg.StartPC, int64(res.Latency), int64(res.Ops), aborted)
+		perStripe := make([]int, f.Geom.Stripes)
+		for i := range cfg.Insts {
+			perStripe[cfg.Insts[i].Stripe]++
+		}
+		for _, n := range perStripe {
+			if n > 0 {
+				f.probe.ObserveStripeOccupancy(n)
+			}
+		}
+	}
 }
 
 func addrOverlap(a, b uint64) bool { return a < b+8 && b < a+8 }

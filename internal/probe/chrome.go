@@ -1,0 +1,361 @@
+package probe
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event exporter. The output is the JSON Object Format of the
+// Chrome trace-event specification ({"traceEvents": [...]}) and loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. One simulated
+// cycle maps to one microsecond of trace time.
+//
+// Layout: each run is a Perfetto "process" (pid = run index + 1). Inside a
+// run, host instructions become complete ("X") slices on a bank of
+// "pipeline" threads — overlapping lifetimes are spread across lanes with a
+// deterministic greedy interval assignment so slices never nest falsely.
+// Trace invocations get their own lane bank, FIFO occupancy becomes a
+// counter ("C") track, and framework moments (squashes, hot flips, config
+// store/ready/evict, reconfigurations, denials, early exits, violations)
+// become instant ("i") events on a dedicated thread.
+//
+// Determinism: events are emitted in a fixed structural order, every JSON
+// object is rendered through encoding/json (struct field order is fixed;
+// map-valued args are emitted with sorted keys by json.Marshal), and no
+// wall-clock or pointer values appear anywhere — so the bytes are a pure
+// function of the recorded events.
+
+// TraceRun is one run's worth of events, labelled for export.
+type TraceRun struct {
+	// Name labels the run (the Perfetto process name).
+	Name string
+	// Events are the run's recorded events in simulation order.
+	Events []Event
+	// Disasm maps a pc to assembly text for slice names (optional).
+	Disasm func(pc int) string
+}
+
+// TraceRun packages the probe's events for export under name. Safe on a
+// nil probe (returns an empty run).
+func (p *Probe) TraceRun(name string) TraceRun {
+	if p == nil {
+		return TraceRun{Name: name}
+	}
+	return TraceRun{Name: name, Events: p.events, Disasm: p.disasm}
+}
+
+// Thread-id layout inside one process. Lane banks are sized at export time;
+// the constants only fix the bank bases, chosen far enough apart that banks
+// cannot collide (lane counts are bounded by the ROB and FIFO depths).
+const (
+	tidFramework = 1    // instant events
+	tidPipeBase  = 10   // pipeline lanes: tidPipeBase+lane
+	tidInvocBase = 1000 // invocation lanes: tidInvocBase+lane
+)
+
+// chromeEvent is one trace-event JSON object. Field order is the emission
+// order; map-valued Args serialize with sorted keys.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the runs as one Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	for i, run := range runs {
+		if err := emitRun(emit, run, i+1); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func emitRun(emit func(chromeEvent) error, run TraceRun, pid int) error {
+	label := func(pc int) string {
+		if run.Disasm != nil {
+			if s := run.Disasm(pc); s != "" {
+				return s
+			}
+		}
+		return fmt.Sprintf("pc=%d", pc)
+	}
+
+	instOrder, invocOrder := buildRecords(run.Events)
+
+	// Process metadata first, then thread names once lane counts are known.
+	if err := emit(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": run.Name},
+	}); err != nil {
+		return err
+	}
+
+	// Pipeline slices: lane-assign, then emit grouped by lane so each
+	// thread's events are time-ordered.
+	pipeLanes := assignLanes(len(instOrder), func(i int) (uint64, uint64) {
+		r := instOrder[i]
+		return r.fetch, sliceEnd(r.fetch, r.end)
+	})
+	emitLaneNames(emit, pid, tidPipeBase, "pipeline", pipeLanes)
+	if err := emit(chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tidFramework,
+		Args: map[string]any{"name": "framework events"},
+	}); err != nil {
+		return err
+	}
+	for i, r := range instOrder {
+		args := map[string]any{"seq": r.seq, "pc": r.pc}
+		if r.hasIssue {
+			args["issue"] = r.issue
+			args["fu"] = r.fu
+			args["unit"] = r.unit
+		}
+		if r.hasWB {
+			args["writeback"] = r.wb
+		}
+		if r.hasCommit {
+			args["commit"] = r.commit
+		} else {
+			args["squashed"] = true
+		}
+		if err := emit(chromeEvent{
+			Name: label(r.pc), Ph: "X", Cat: "pipeline",
+			Ts: r.fetch, Dur: sliceEnd(r.fetch, r.end) - r.fetch,
+			Pid: pid, Tid: tidPipeBase + pipeLanes[i], Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Invocation slices.
+	invocLanes := assignLanes(len(invocOrder), func(i int) (uint64, uint64) {
+		v := invocOrder[i]
+		return v.inject, sliceEnd(v.inject, v.end)
+	})
+	emitLaneNames(emit, pid, tidInvocBase, "invocation", invocLanes)
+	for i, v := range invocOrder {
+		args := map[string]any{
+			"id": v.id, "start_pc": v.startPC, "exit_pc": v.exitPC,
+			"trace_len": v.numInsts, "outcome": v.outcome,
+		}
+		if v.hasEval {
+			args["latency"] = v.latency
+			args["ops"] = v.ops
+			args["startup"] = v.startup
+		}
+		if err := emit(chromeEvent{
+			Name: "trace " + label(v.startPC), Ph: "X", Cat: "invocation",
+			Ts: v.inject, Dur: sliceEnd(v.inject, v.end) - v.inject,
+			Pid: pid, Tid: tidInvocBase + invocLanes[i], Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Counter + instant events, in recording order on the framework thread.
+	for _, e := range run.Events {
+		var ev chromeEvent
+		switch e.Kind {
+		case EvFIFOOcc:
+			ev = chromeEvent{
+				Name: "fifo_occupancy", Ph: "C", Ts: e.Cycle, Pid: pid, Tid: 0,
+				Args: map[string]any{"invocations": e.A},
+			}
+		case EvSquash:
+			ev = instant(pid, e.Cycle, "squash", map[string]any{"oldest_seq": e.Seq})
+		case EvTraceDenied:
+			ev = instant(pid, e.Cycle, "offload-denied", map[string]any{
+				"pc": e.PC, "reason": denialName(e.A),
+			})
+		case EvMapStart:
+			ev = instant(pid, e.Cycle, "map-start", map[string]any{"pc": e.PC})
+		case EvMapEnd:
+			ev = instant(pid, e.Cycle, "map-end", map[string]any{
+				"pc": e.PC, "outcome": mapOutcomeName(e.A), "trace_len": e.B,
+			})
+		case EvHot:
+			ev = instant(pid, e.Cycle, "trace-hot", map[string]any{"pc": e.PC})
+		case EvCfgStore:
+			ev = instant(pid, e.Cycle, "cfg-store", map[string]any{"pc": e.PC, "trace_len": e.B})
+		case EvCfgReady:
+			ev = instant(pid, e.Cycle, "cfg-ready", map[string]any{"pc": e.PC})
+		case EvCfgEvict:
+			ev = instant(pid, e.Cycle, "cfg-evict", map[string]any{"pc": e.PC})
+		case EvReconfig:
+			ev = instant(pid, e.Cycle, "reconfig", map[string]any{"fabric": e.A, "penalty": e.B})
+		case EvFabricExit:
+			ev = instant(pid, e.Cycle, "early-exit", map[string]any{
+				"branch_pc": e.PC, "exit_pc": e.A,
+			})
+		case EvFabricViol:
+			ev = instant(pid, e.Cycle, "mem-violation", map[string]any{"load_pc": e.PC})
+		default:
+			continue
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func instant(pid int, ts uint64, name string, args map[string]any) chromeEvent {
+	return chromeEvent{
+		Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tidFramework,
+		S: "t", Args: args,
+	}
+}
+
+// sliceEnd gives a slice covering [start, end] a minimum width of one
+// cycle so zero-length lifetimes stay visible.
+func sliceEnd(start, end uint64) uint64 {
+	if end <= start {
+		return start + 1
+	}
+	return end
+}
+
+// emitLaneNames emits thread_name metadata for each lane in use.
+func emitLaneNames(emit func(chromeEvent) error, pid, base int, kind string, lanes []int) {
+	n := 0
+	for _, l := range lanes {
+		if l+1 > n {
+			n = l + 1
+		}
+	}
+	for l := 0; l < n; l++ {
+		// Errors surface on the next data emit; metadata shares the writer.
+		_ = emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: base + l,
+			Args: map[string]any{"name": fmt.Sprintf("%s lane %02d", kind, l)},
+		})
+	}
+}
+
+// laneHeap orders free lanes by (end cycle, lane id) so reuse is
+// deterministic.
+type laneHeap []laneSlot
+
+type laneSlot struct {
+	end  uint64
+	lane int
+}
+
+func (h laneHeap) Len() int { return len(h) }
+func (h laneHeap) Less(i, j int) bool {
+	if h[i].end != h[j].end {
+		return h[i].end < h[j].end
+	}
+	return h[i].lane < h[j].lane
+}
+func (h laneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *laneHeap) Push(x any)   { *h = append(*h, x.(laneSlot)) }
+func (h *laneHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// assignLanes greedily packs n intervals (given by span, in start order)
+// onto the fewest lanes such that no two overlapping intervals share a
+// lane. Returns each interval's lane.
+func assignLanes(n int, span func(i int) (start, end uint64)) []int {
+	lanes := make([]int, n)
+	// Intervals must be processed in start order; the builders append in
+	// event order, which is start order, but sort defensively by (start,
+	// original index) to keep the invariant local.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, _ := span(idx[a])
+		sb, _ := span(idx[b])
+		return sa < sb
+	})
+	var h laneHeap
+	next := 0
+	for _, i := range idx {
+		start, end := span(i)
+		if len(h) > 0 && h[0].end <= start {
+			slot := heap.Pop(&h).(laneSlot)
+			lanes[i] = slot.lane
+			heap.Push(&h, laneSlot{end: end, lane: slot.lane})
+			continue
+		}
+		lanes[i] = next
+		heap.Push(&h, laneSlot{end: end, lane: next})
+		next++
+	}
+	return lanes
+}
+
+// denialName renders a Denied* constant.
+func denialName(r int64) string {
+	switch r {
+	case DeniedFIFO:
+		return "fifo-full"
+	case DeniedBlockOnce:
+		return "block-once"
+	case DeniedNotReady:
+		return "not-ready"
+	}
+	return "unknown"
+}
+
+// mapOutcomeName renders a Map* constant.
+func mapOutcomeName(o int64) string {
+	switch o {
+	case MapDone:
+		return "done"
+	case MapAborted:
+		return "aborted"
+	case MapFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// SquashKindName renders an ooo.SquashKind value carried in an event's A
+// field. Kept here (string-typed, not importing ooo) so exporters stay
+// dependency-free; the mapping mirrors ooo.SquashKind.String.
+func SquashKindName(k int64) string {
+	switch k {
+	case 0:
+		return "branch-exit"
+	case 1:
+		return "mem-order"
+	case 2:
+		return "external"
+	}
+	return "unknown"
+}

@@ -1,0 +1,95 @@
+package probe
+
+// Record reassembly shared by the exporters: fold the flat event stream
+// back into per-instruction and per-invocation lifecycles.
+
+// instRec is one host instruction's reassembled lifecycle. Trace ROB
+// entries (writeback/commit with no fetch) never become records — the
+// invocation record covers them.
+type instRec struct {
+	seq               uint64
+	pc                int
+	fetch             uint64
+	issue, wb, commit uint64
+	hasIssue, hasWB   bool
+	hasCommit         bool
+	fu, unit          int64
+	end               uint64 // last observed cycle
+}
+
+// invocRec is one trace invocation's reassembled lifecycle.
+type invocRec struct {
+	id                 uint64
+	startPC, exitPC    int
+	numInsts           int64
+	inject             uint64
+	evalStart, evalEnd uint64
+	hasEvalStart       bool
+	hasEval            bool
+	latency, ops       int64
+	startup            int64
+	end                uint64
+	outcome            string // "committed", a squash-kind name, or "in-flight"
+}
+
+// buildRecords folds events (in simulation order) into instruction records
+// (fetch order) and invocation records (inject order). The lookup maps are
+// never ranged over; iteration happens on the returned slices only.
+func buildRecords(events []Event) ([]*instRec, []*invocRec) {
+	insts := make(map[uint64]*instRec)
+	var instOrder []*instRec
+	invocs := make(map[uint64]*invocRec)
+	var invocOrder []*invocRec
+	for _, e := range events {
+		switch e.Kind {
+		case EvFetch:
+			r := &instRec{seq: e.Seq, pc: e.PC, fetch: e.Cycle, end: e.Cycle}
+			insts[e.Seq] = r
+			instOrder = append(instOrder, r)
+		case EvIssue:
+			if r := insts[e.Seq]; r != nil {
+				r.issue, r.hasIssue, r.fu, r.unit = e.Cycle, true, e.A, e.B
+				r.end = e.Cycle
+			}
+		case EvWriteback:
+			if r := insts[e.Seq]; r != nil {
+				r.wb, r.hasWB = e.Cycle, true
+				r.end = e.Cycle
+			}
+		case EvCommit:
+			if r := insts[e.Seq]; r != nil {
+				r.commit, r.hasCommit = e.Cycle, true
+				r.end = e.Cycle
+			}
+		case EvTraceInject:
+			v := &invocRec{
+				id: e.Seq, startPC: e.PC, exitPC: int(e.A),
+				numInsts: e.B, inject: e.Cycle, end: e.Cycle,
+				outcome: "in-flight",
+			}
+			invocs[e.Seq] = v
+			invocOrder = append(invocOrder, v)
+		case EvTraceEvalStart:
+			if v := invocs[e.Seq]; v != nil {
+				v.evalStart, v.hasEvalStart = e.Cycle, true
+				v.startup = e.A
+				v.end = e.Cycle
+			}
+		case EvTraceEvalEnd:
+			if v := invocs[e.Seq]; v != nil {
+				v.evalEnd, v.hasEval = e.Cycle, true
+				v.latency, v.ops = e.A, e.B
+				v.end = e.Cycle
+			}
+		case EvTraceCommit:
+			if v := invocs[e.Seq]; v != nil {
+				v.outcome, v.end = "committed", e.Cycle
+			}
+		case EvTraceSquash:
+			if v := invocs[e.Seq]; v != nil {
+				v.outcome, v.end = SquashKindName(e.A), e.Cycle
+			}
+		}
+	}
+	return instOrder, invocOrder
+}

@@ -1,0 +1,162 @@
+package probe
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry unifies counters and fixed-bucket histograms for one simulation.
+// Counters are created on first increment; histograms must be registered
+// with their bucket bounds up front so every run of a sweep shares the same
+// shape. A Registry is not safe for concurrent use — each worker owns its
+// probe — but Snapshot output is deterministic regardless of the order
+// samples arrived in.
+type Registry struct {
+	counters map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are inclusive upper edges
+// ("le" semantics, like Prometheus); samples above the last bound land in
+// the implicit overflow bucket counted only by Count/Sum.
+type Histogram struct {
+	// Bounds are the inclusive upper edges, strictly increasing.
+	Bounds []float64
+	// BucketCounts[i] counts samples <= Bounds[i] (non-cumulative).
+	BucketCounts []uint64
+	// Count and Sum cover every sample, including overflow.
+	Count uint64
+	Sum   float64
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	h.Count++
+	h.Sum += v
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.BucketCounts[i]++
+			return
+		}
+	}
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Counter adds delta to the named counter, creating it at zero first.
+func (r *Registry) Counter(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.counters[name] += delta
+}
+
+// CounterValue returns the named counter's value (0 if absent).
+func (r *Registry) CounterValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+// RegisterHistogram creates the named histogram with the given inclusive
+// upper bucket bounds. Registering an existing name replaces it.
+func (r *Registry) RegisterHistogram(name string, bounds []float64) *Histogram {
+	h := &Histogram{Bounds: bounds, BucketCounts: make([]uint64, len(bounds))}
+	r.hists[name] = h
+	return h
+}
+
+// Observe adds one sample to the named histogram. Observing an unregistered
+// name is a silent no-op so probe points never need registration checks.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if h, ok := r.hists[name]; ok {
+		h.Observe(v)
+	}
+}
+
+// Histogram returns the named histogram (nil if unregistered).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// Snapshot flattens the registry into a flat name -> value map suitable for
+// a runner journal entry's Metrics field. Counters appear under their own
+// name; each histogram h contributes h_count, h_sum, h_mean, and one
+// h_le_<bound> entry per bucket. Keys are unique by construction, so the
+// map ranges below are order-independent (each iteration writes its own
+// key) and json.Marshal of the result is byte-stable.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(r.counters)+4*len(r.hists))
+	for name, v := range r.counters {
+		out[name] = v
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.hists[name]
+		out[name+"_count"] = float64(h.Count)
+		out[name+"_sum"] = h.Sum
+		out[name+"_mean"] = h.Mean()
+		for i, b := range h.Bounds {
+			out[name+"_le_"+formatBound(b)] = float64(h.BucketCounts[i])
+		}
+	}
+	return out
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// formatBound renders a bucket bound as a metric-key suffix: integral
+// bounds print without a decimal point ("16"), fractional ones with the
+// point replaced ("0p5") so keys stay identifier-like.
+func formatBound(b float64) string {
+	s := strconv.FormatFloat(b, 'g', -1, 64)
+	return strings.ReplaceAll(s, ".", "p")
+}

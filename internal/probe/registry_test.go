@@ -1,0 +1,87 @@
+package probe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	if got := r.CounterValue("missing"); got != 0 {
+		t.Fatalf("missing counter = %v, want 0", got)
+	}
+	r.Counter("x", 1)
+	r.Counter("x", 2)
+	if got := r.CounterValue("x"); got != 3 {
+		t.Fatalf("counter x = %v, want 3", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != "x" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 2, 3, 100} {
+		r.Observe("lat", v)
+	}
+	if h.Count != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count)
+	}
+	if h.Sum != 108 {
+		t.Fatalf("Sum = %v, want 108", h.Sum)
+	}
+	want := []uint64{1, 2, 1} // le_1: {1}; le_2: {2,2}; le_4: {3}; 100 overflows
+	for i, w := range want {
+		if h.BucketCounts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.BucketCounts[i], w)
+		}
+	}
+	if mean := h.Mean(); math.Abs(mean-21.6) > 1e-9 {
+		t.Fatalf("Mean = %v, want 21.6", mean)
+	}
+}
+
+func TestObserveUnregisteredIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("nope", 1) // must not panic
+	if r.Histogram("nope") != nil {
+		t.Fatal("unregistered histogram materialized")
+	}
+}
+
+func TestSnapshotKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("squash_branch_exit", 2)
+	r.RegisterHistogram("lat", []float64{1, 0.5})
+	r.Observe("lat", 1)
+	snap := r.Snapshot()
+	for _, k := range []string{"squash_branch_exit", "lat_count", "lat_sum", "lat_mean", "lat_le_1", "lat_le_0p5"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing key %q (have %v)", k, snap)
+		}
+	}
+	if snap["lat_count"] != 1 || snap["lat_mean"] != 1 {
+		t.Fatalf("lat_count=%v lat_mean=%v, want 1, 1", snap["lat_count"], snap["lat_mean"])
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x", 1)
+	r.Observe("x", 1)
+	if r.CounterValue("x") != 0 || r.Snapshot() != nil || r.CounterNames() != nil || r.HistogramNames() != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must be inert")
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[float64]string{16: "16", 0.5: "0p5", 1: "1", 512: "512"}
+	for in, want := range cases {
+		if got := formatBound(in); got != want {
+			t.Errorf("formatBound(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -12,7 +12,11 @@
 // fabric.
 package tcache
 
-import "fmt"
+import (
+	"fmt"
+
+	"dynaspam/internal/probe"
+)
 
 // HistoryLen is the number of branch outcomes in a trace key (footnote 1 of
 // the paper: three).
@@ -96,6 +100,7 @@ type TCache struct {
 	window []committedBranch
 
 	stats Stats
+	probe *probe.Probe
 }
 
 type committedBranch struct {
@@ -109,6 +114,19 @@ type Stats struct {
 	HotDetected  uint64
 	Decays       uint64
 	Evictions    uint64
+	// Hits/Misses count key lookups that found / did not find a tracked
+	// entry (a miss that creates an entry still counts as a miss).
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // New returns an empty T-Cache.
@@ -148,6 +166,7 @@ func (t *TCache) OnBranchCommit(pc int, taken bool) (hot TraceKey, becameHot boo
 	t.maybeDecay()
 	if e.hot && !wasHot {
 		t.stats.HotDetected++
+		t.probe.TCacheHot(key.AnchorPC, key.Dirs)
 		return key, true
 	}
 	return TraceKey{}, false
@@ -183,15 +202,20 @@ func (t *TCache) ResetWindow() { t.window = t.window[:0] }
 // Stats returns a copy of the counters.
 func (t *TCache) Stats() Stats { return t.stats }
 
+// SetProbe attaches the observability probe (nil disables; the default).
+func (t *TCache) SetProbe(p *probe.Probe) { t.probe = p }
+
 // Len returns the number of tracked entries.
 func (t *TCache) Len() int { return len(t.entries) }
 
 func (t *TCache) lookup(key TraceKey, create bool) *entry {
 	t.tick++
 	if e := t.entries[key]; e != nil {
+		t.stats.Hits++
 		e.lruTick = t.tick
 		return e
 	}
+	t.stats.Misses++
 	if !create {
 		return nil
 	}
