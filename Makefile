@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke bench figures trace-smoke check
+.PHONY: all build test race vet lint bench-smoke bench bench-baseline bench-compare figures trace-smoke check
+
+# Benchmarks covered by the regression gate: the two hot-loop
+# micro-benchmarks plus the end-to-end figure benchmarks whose history
+# BENCH_4.json records.
+BENCH_GATE = BenchmarkCPUStep|BenchmarkFabricInvoke|BenchmarkBaselinePipeline|BenchmarkTraceOverhead
 
 all: check
 
@@ -34,6 +39,20 @@ bench-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Re-record the committed benchmark baseline (BENCH_4.json). Run this only
+# after an intentional perf change, and review the diff like code.
+bench-baseline:
+	@out=$$(mktemp) && trap 'rm -f "$$out"' EXIT && \
+	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run='^$$' . | tee "$$out" && \
+	$(GO) run ./cmd/benchdiff -update "$$out"
+
+# Benchmark regression gate: compare a fresh run of the gated benchmarks
+# against BENCH_4.json; fails on >10% ns/op growth or any allocs/op growth.
+bench-compare:
+	@out=$$(mktemp) && trap 'rm -f "$$out"' EXIT && \
+	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run='^$$' . | tee "$$out" && \
+	$(GO) run ./cmd/benchdiff "$$out"
 
 figures:
 	$(GO) run ./cmd/figures

@@ -29,8 +29,12 @@ import (
 	"dynaspam/internal/core"
 	"dynaspam/internal/experiments"
 	"dynaspam/internal/fabric"
+	"dynaspam/internal/isa"
 	"dynaspam/internal/mapper"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/ooo"
 	"dynaspam/internal/probe"
+	"dynaspam/internal/program"
 	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
@@ -292,5 +296,72 @@ func BenchmarkParallelSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCPUStep measures the per-cycle cost of the OOO loop in isolation:
+// a register-only loop body (no memory traffic, no mispredicts — the jump's
+// target is always predicted once warm) keeps the pipeline saturated while
+// the cycle budget caps the run at exactly b.N cycles, so ns/op is ns per
+// simulated cycle and allocs/op is the steady-state per-cycle allocation
+// count of the scheduler, wakeup, and commit machinery.
+func BenchmarkCPUStep(b *testing.B) {
+	p := program.NewBuilder("step").
+		Label("loop").
+		Add(isa.R(3), isa.R(1), isa.R(2)).
+		Add(isa.R(4), isa.R(3), isa.R(1)).
+		Add(isa.R(5), isa.R(4), isa.R(2)).
+		Add(isa.R(6), isa.R(5), isa.R(1)).
+		Jmp("loop").
+		Halt().
+		MustBuild()
+	cfg := ooo.DefaultConfig()
+	cfg.MaxCycles = uint64(b.N)
+	cpu := ooo.New(cfg, p, mem.New(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	// The infinite loop exits via the cycle budget; that error is the
+	// benchmark's intended stop condition, not a failure.
+	if err := cpu.Run(); err == nil {
+		b.Fatal("infinite loop halted unexpectedly")
+	}
+}
+
+// BenchmarkFabricInvoke measures one fabric invocation end to end — operand
+// arrival, dataflow scheduling, functional evaluation, live-out extraction —
+// on a real trace mapped by the resource-aware mapper. Results are released
+// back to the fabric each iteration, so allocs/op is the steady-state
+// per-invocation allocation count.
+func BenchmarkFabricInvoke(b *testing.B) {
+	w, err := workloads.ByAbbrev("HS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := fabric.DefaultGeometry()
+	var cfg *fabric.Config
+	for _, tr := range experiments.SampleTraces(w, 32) {
+		if c, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
+			cfg = c
+			break
+		}
+	}
+	if cfg == nil {
+		b.Fatal("no mappable sample trace")
+	}
+	f := fabric.New(g)
+	env := fabric.EvalEnv{
+		ReadMem:     func(addr uint64) uint64 { return addr ^ 0x9e3779b9 },
+		AccessMem:   func(addr uint64, write bool) int { return 2 },
+		Speculative: true,
+	}
+	liveIns := make([]uint64, len(cfg.LiveIns))
+	for i := range liveIns {
+		liveIns[i] = uint64(i + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := f.Run(fabric.Invocation{Cfg: cfg, LiveIns: liveIns, Now: int64(i)}, env)
+		f.Release(&res)
 	}
 }

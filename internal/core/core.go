@@ -594,6 +594,10 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 		for _, b := range res.Branches {
 			s.noteBranch(b.PC, b.Taken)
 		}
+		// The result is fully consumed at commit; recycle its record
+		// storage. (Squashed invocations keep theirs — the squash path
+		// still reads Branches for predictor training.)
+		inst.Release(res)
 	}
 	tr.OnSquash = func(kind ooo.SquashKind) {
 		free()

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -91,6 +93,75 @@ func TestProbedExportsDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if len(runs) != len(ws) {
 		t.Errorf("pipeline view has %d runs, want %d", len(runs), len(ws))
+	}
+}
+
+// TestBFSExportsMatchGolden is the optimized-vs-golden lock for the event
+// wheel rewrite: both observability exports of a squash-heavy BFS run under
+// full acceleration must stay byte-identical to golden files generated at
+// the seed (pre-wheel) revision. Same-cycle completions flow through the
+// scheduler in insertion order; any reordering — however timing-neutral —
+// shifts writeback/squash event interleavings and shows up here as a byte
+// diff. Regenerate with DYNASPAM_UPDATE_GOLDEN=1 only when an intentional
+// architectural change is being made.
+func TestBFSExportsMatchGolden(t *testing.T) {
+	w, err := workloads.ByAbbrev("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The event cap keeps the committed golden files small; dropping is
+	// deterministic (first-in wins), so the capped prefix is still a
+	// byte-exact lock over the run's opening phase — which includes the
+	// warm-up's mispredict squashes and the first trace squashes.
+	pr := probe.New(40000)
+	res, err := RunProbedCtx(context.Background(), w, params(core.ModeAccel), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lock is only meaningful if the run exercises the squash paths
+	// that interleave with ordinary completions inside one cycle.
+	if res.Core.TraceSquashes == 0 || res.CPU.BranchMispredicts == 0 {
+		t.Fatalf("BFS run is not squash-heavy (trace squashes %d, mispredicts %d); golden lock is vacuous",
+			res.Core.TraceSquashes, res.CPU.BranchMispredicts)
+	}
+	runs := []probe.TraceRun{pr.TraceRun("BFS")}
+	var cb, pb bytes.Buffer
+	if err := probe.WriteChromeTrace(&cb, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.WritePipeView(&pb, runs); err != nil {
+		t.Fatal(err)
+	}
+	chromeGolden := filepath.Join("testdata", "bfs_accel_trace.json")
+	pipeGolden := filepath.Join("testdata", "bfs_accel_pipeview.kanata")
+	if os.Getenv("DYNASPAM_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(chromeGolden, cb.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pipeGolden, pb.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden files updated (%d + %d bytes)", cb.Len(), pb.Len())
+		return
+	}
+	wantChrome, err := os.ReadFile(chromeGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPipe, err := os.ReadFile(pipeGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb.Bytes(), wantChrome) {
+		t.Errorf("BFS Chrome trace diverged from seed golden (%d vs %d bytes): same-cycle event ordering changed",
+			cb.Len(), len(wantChrome))
+	}
+	if !bytes.Equal(pb.Bytes(), wantPipe) {
+		t.Errorf("BFS pipeline view diverged from seed golden (%d vs %d bytes): same-cycle event ordering changed",
+			pb.Len(), len(wantPipe))
 	}
 }
 

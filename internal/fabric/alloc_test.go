@@ -1,0 +1,58 @@
+// External test package: the mapper (which this test needs to produce a
+// real configuration) imports fabric, so an in-package test would cycle.
+package fabric_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/fabric"
+	"dynaspam/internal/mapper"
+	"dynaspam/internal/workloads"
+)
+
+// TestRunSteadyStateAllocsZero pins the per-invocation allocation contract:
+// with results released back to the fabric after use, Run reuses its
+// evalScratch and record pools and a warm invocation performs zero heap
+// allocations.
+func TestRunSteadyStateAllocsZero(t *testing.T) {
+	w, err := workloads.ByAbbrev("HS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fabric.DefaultGeometry()
+	var cfg *fabric.Config
+	for _, tr := range experiments.SampleTraces(w, 32) {
+		if c, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
+			cfg = c
+			break
+		}
+	}
+	if cfg == nil {
+		t.Fatal("no mappable sample trace")
+	}
+	f := fabric.New(g)
+	env := fabric.EvalEnv{
+		ReadMem:     func(addr uint64) uint64 { return addr ^ 0x9e3779b9 },
+		AccessMem:   func(addr uint64, write bool) int { return 2 },
+		Speculative: true,
+	}
+	liveIns := make([]uint64, len(cfg.LiveIns))
+	for i := range liveIns {
+		liveIns[i] = uint64(i + 1)
+	}
+	now := int64(0)
+	invoke := func() {
+		res := f.Run(fabric.Invocation{Cfg: cfg, LiveIns: liveIns, Now: now}, env)
+		f.Release(&res)
+		now++
+	}
+	// Warm-up: grows scratch to the config's size and primes the record
+	// pool and the per-config start-time double buffer.
+	for i := 0; i < 16; i++ {
+		invoke()
+	}
+	if avg := testing.AllocsPerRun(200, invoke); avg != 0 {
+		t.Fatalf("steady-state Run+Release allocates %.2f allocs/invocation, want 0", avg)
+	}
+}

@@ -71,6 +71,45 @@ type Stats struct {
 	IdlePECycles   uint64 // gated PE-cycles
 }
 
+// bufStore is one entry of the in-invocation store buffer used for
+// forwarding, youngest-last.
+type bufStore struct {
+	idx   int
+	addr  uint64
+	value uint64
+}
+
+// evalScratch holds per-invocation working state reused across Run calls so
+// steady-state evaluation allocates nothing. All slices are owned by the
+// fabric and sized to the largest configuration seen.
+type evalScratch struct {
+	values    []uint64
+	start     []int64
+	done      []int64
+	stores    []bufStore
+	perStripe []int
+}
+
+// recordSet is a bundle of result-record backing arrays. Run pops one from
+// the fabric's free list and Release returns it, so callers that release
+// their results recycle record storage; callers that never call Release get
+// the seed behavior (freshly grown slices, garbage collected).
+type recordSet struct {
+	loads        []ooo.LoadRecord
+	stores       []ooo.StoreRecord
+	branches     []ooo.BranchRec
+	liveOuts     []uint64
+	liveOutDelay []int
+}
+
+// startPair double-buffers a configuration's StartTimes. The previous
+// invocation's schedule stays readable (the pipeline holds it as PrevStarts)
+// while the next invocation writes the other buffer.
+type startPair struct {
+	bufs [2][]int64
+	cur  int
+}
+
 // Fabric is one physical fabric instance: a geometry plus the currently
 // loaded configuration and accumulated stats.
 type Fabric struct {
@@ -80,6 +119,10 @@ type Fabric struct {
 	reconfigs uint64
 	stats     Stats
 	probe     *probe.Probe
+
+	scratch evalScratch
+	recPool []recordSet
+	starts  map[*Config]*startPair
 }
 
 // New returns a fabric with no configuration loaded.
@@ -111,6 +154,80 @@ func (f *Fabric) Reconfigurations() uint64 { return f.reconfigs }
 // Stats returns a copy of the accumulated counters.
 func (f *Fabric) Stats() Stats { return f.stats }
 
+// getRecordSet pops a recycled record bundle, or a zero bundle when the pool
+// is empty (its nil slices grow on first append, exactly like the seed).
+func (f *Fabric) getRecordSet() recordSet {
+	if n := len(f.recPool); n > 0 {
+		rs := f.recPool[n-1]
+		f.recPool[n-1] = recordSet{}
+		f.recPool = f.recPool[:n-1]
+		return rs
+	}
+	return recordSet{}
+}
+
+// Release returns res's record slices to the fabric's free list and clears
+// them. Call it once the result is fully consumed (e.g. at invocation
+// commit); results of squashed invocations may simply be dropped. StartTimes
+// is not pooled — the pipeline retains it as the next invocation's
+// PrevStarts. Releasing the same result twice is a no-op.
+func (f *Fabric) Release(res *ooo.TraceResult) {
+	if res.Loads == nil && res.Stores == nil && res.Branches == nil &&
+		res.LiveOuts == nil && res.LiveOutDelay == nil {
+		return
+	}
+	f.recPool = append(f.recPool, recordSet{
+		loads:        res.Loads[:0],
+		stores:       res.Stores[:0],
+		branches:     res.Branches[:0],
+		liveOuts:     res.LiveOuts[:0],
+		liveOutDelay: res.LiveOutDelay[:0],
+	})
+	res.Loads = nil
+	res.Stores = nil
+	res.Branches = nil
+	res.LiveOuts = nil
+	res.LiveOutDelay = nil
+}
+
+// grow readies the scratch arrays for an n-instruction invocation.
+func (s *evalScratch) grow(n int) {
+	if cap(s.values) < n {
+		s.values = make([]uint64, n)
+		s.start = make([]int64, n)
+		s.done = make([]int64, n)
+	}
+	s.values = s.values[:n]
+	s.start = s.start[:n]
+	s.done = s.done[:n]
+	s.stores = s.stores[:0]
+}
+
+// publishStarts copies the scratch schedule into cfg's double buffer and
+// returns the stable copy handed to the caller. Only successful invocations
+// publish: the pipeline feeds the returned slice back as PrevStarts while
+// the next invocation writes the other buffer, so the reader never sees a
+// partially overwritten schedule.
+func (f *Fabric) publishStarts(cfg *Config, start []int64) []int64 {
+	if f.starts == nil {
+		f.starts = make(map[*Config]*startPair)
+	}
+	p := f.starts[cfg]
+	if p == nil {
+		p = &startPair{}
+		f.starts[cfg] = p
+	}
+	buf := p.bufs[p.cur]
+	if cap(buf) < len(start) {
+		buf = make([]int64, len(start))
+	}
+	buf = buf[:len(start)]
+	copy(buf, start)
+	p.bufs[p.cur] = buf
+	p.cur ^= 1
+	return buf
+}
+
 // Evaluate runs one invocation of the loaded configuration with all live-ins
 // arriving now and no pipelining context (convenience form for tests and
 // single-shot use). It panics if no configuration is loaded.
@@ -139,30 +256,22 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 	f.stats.Invocations++
 
 	n := len(cfg.Insts)
-	values := make([]uint64, n)
-	start := make([]int64, n)
-	done := make([]int64, n)
-
-	res := ooo.TraceResult{ExitMatches: true, ActualExitPC: cfg.ExitPC}
-	res.StartTimes = start
-
-	// In-invocation store buffer for forwarding, youngest-last.
-	type bufStore struct {
-		idx   int
-		addr  uint64
-		value uint64
+	f.scratch.grow(n)
+	values, start, done := f.scratch.values, f.scratch.start, f.scratch.done
+	// Non-producing ops (branches, stores) never write their value slot;
+	// clear the scratch so a stale value can never leak between
+	// invocations the way a fresh allocation's zero could not.
+	for i := range values {
+		values[i] = 0
 	}
-	var stores []bufStore
 
-	arrival := func(i int) int64 {
-		at := inv.Now
-		if inv.Arrivals != nil {
-			at = inv.Arrivals[i]
-			if at > inv.Now {
-				at = inv.Now
-			}
-		}
-		return at + 1 + int64(env.StartupDelay) // one global-bus cycle
+	rs := f.getRecordSet()
+	res := ooo.TraceResult{
+		ExitMatches:  true,
+		ActualExitPC: cfg.ExitPC,
+		Loads:        rs.loads,
+		Stores:       rs.stores,
+		Branches:     rs.branches,
 	}
 
 	maxDone := inv.Now
@@ -188,7 +297,16 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 				continue
 			case SrcLiveIn:
 				v = inv.LiveIns[src.Index]
-				at = arrival(src.Index)
+				// Live-in arrival: FIFO entry time (capped at Now) plus
+				// one global-bus cycle and any startup delay.
+				at = inv.Now
+				if inv.Arrivals != nil {
+					at = inv.Arrivals[src.Index]
+					if at > inv.Now {
+						at = inv.Now
+					}
+				}
+				at += 1 + int64(env.StartupDelay)
 				f.stats.GlobalBusMoves++
 			case SrcProducer:
 				v = values[src.Index]
@@ -212,7 +330,7 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 					// Stores never run ahead of older stores to
 					// preserve write order in the reservation
 					// buffer.
-					for _, s := range stores {
+					for _, s := range f.scratch.stores {
 						if done[s.idx] > ready {
 							ready = done[s.idx]
 						}
@@ -220,7 +338,7 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 				} else if env.MemDep != nil {
 					// Loads order after predicted-dependent
 					// older stores only.
-					for _, s := range stores {
+					for _, s := range f.scratch.stores {
 						if env.MemDep.SameSet(uint64(mi.PC), uint64(cfg.Insts[s.idx].PC)) && done[s.idx] > ready {
 							ready = done[s.idx]
 						}
@@ -276,9 +394,9 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 			addr := uint64(int64(a) + mi.Inst.Imm)
 			var v uint64
 			forwarded := false
-			for k := len(stores) - 1; k >= 0; k-- {
-				if stores[k].addr == addr {
-					v = stores[k].value
+			for k := len(f.scratch.stores) - 1; k >= 0; k-- {
+				if f.scratch.stores[k].addr == addr {
+					v = f.scratch.stores[k].value
 					forwarded = true
 					break
 				}
@@ -298,7 +416,7 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 			// Speculative violation check: did this load start before
 			// an older overlapping store finished?
 			if env.Speculative {
-				for _, s := range stores {
+				for _, s := range f.scratch.stores {
 					if addrOverlap(s.addr, addr) && start[i] < done[s.idx] {
 						f.stats.Violations++
 						f.probe.FabricViolation(uint64(inv.Now), mi.PC)
@@ -314,7 +432,7 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 			}
 		case op.IsStore():
 			addr := uint64(int64(a) + mi.Inst.Imm)
-			stores = append(stores, bufStore{idx: i, addr: addr, value: b})
+			f.scratch.stores = append(f.scratch.stores, bufStore{idx: i, addr: addr, value: b})
 			res.Stores = append(res.Stores, ooo.StoreRecord{
 				PC: mi.PC, Addr: addr, Value: b, IsFP: op == isa.OpFSt,
 			})
@@ -347,8 +465,8 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 
 	// Live-outs: values and per-live-out ready offsets (+1 global bus),
 	// relative to Now and clamped to at least one cycle.
-	res.LiveOuts = make([]uint64, len(cfg.LiveOuts))
-	res.LiveOutDelay = make([]int, len(cfg.LiveOuts))
+	res.LiveOuts = resizeUint64s(rs.liveOuts, len(cfg.LiveOuts))
+	res.LiveOutDelay = resizeInts(rs.liveOutDelay, len(cfg.LiveOuts))
 	for i, p := range cfg.LiveOutProducer {
 		res.LiveOuts[i] = values[p]
 		d := done[p] + 1 - inv.Now
@@ -358,8 +476,29 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 		res.LiveOutDelay[i] = int(d)
 		f.stats.GlobalBusMoves++
 	}
+	// Only completed invocations publish a schedule; aborted ones return a
+	// nil StartTimes, which nothing downstream reads.
+	res.StartTimes = f.publishStarts(cfg, start)
 	f.finish(&res, cfg, inv.Now, maxDone, n)
 	return res
+}
+
+// resizeUint64s returns s with length n, reusing its backing array when
+// large enough.
+func resizeUint64s(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// resizeInts returns s with length n, reusing its backing array when large
+// enough.
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 // finish fills the result's latency, op count, and power-gating statistics.
@@ -379,7 +518,13 @@ func (f *Fabric) finish(res *ooo.TraceResult, cfg *Config, now, maxDone int64, o
 	if f.probe != nil {
 		aborted := !res.ExitMatches || res.MemViolation
 		f.probe.FabricEval(uint64(now), cfg.StartPC, int64(res.Latency), int64(res.Ops), aborted)
-		perStripe := make([]int, f.Geom.Stripes)
+		if cap(f.scratch.perStripe) < f.Geom.Stripes {
+			f.scratch.perStripe = make([]int, f.Geom.Stripes)
+		}
+		perStripe := f.scratch.perStripe[:f.Geom.Stripes]
+		for i := range perStripe {
+			perStripe[i] = 0
+		}
 		for i := range cfg.Insts {
 			perStripe[cfg.Insts[i].Stripe]++
 		}

@@ -179,7 +179,7 @@ func (c *Config) Validate(g Geometry) error {
 	if len(c.LiveOuts) != len(c.LiveOutProducer) {
 		return fmt.Errorf("fabric: live-out/producer length mismatch")
 	}
-	peUsed := make(map[[2]int]bool)
+	peUsed := make([]bool, g.Stripes*g.PEsPerStripe())
 	for i := range c.Insts {
 		mi := &c.Insts[i]
 		if mi.Stripe < 0 || mi.Stripe >= g.Stripes {
@@ -188,9 +188,9 @@ func (c *Config) Validate(g Geometry) error {
 		if mi.PE < 0 || mi.PE >= g.PEsPerStripe() {
 			return fmt.Errorf("fabric: inst %d PE %d out of range", i, mi.PE)
 		}
-		key := [2]int{mi.Stripe, mi.PE}
+		key := mi.Stripe*g.PEsPerStripe() + mi.PE
 		if peUsed[key] {
-			return fmt.Errorf("fabric: inst %d double-books PE %v", i, key)
+			return fmt.Errorf("fabric: inst %d double-books PE [%d %d]", i, mi.Stripe, mi.PE)
 		}
 		peUsed[key] = true
 		liveIns := 0

@@ -38,11 +38,17 @@ type TraceInst struct {
 // LiveOutsOf computes the architectural registers a trace defines and the
 // trace index of each register's last definition.
 func LiveOutsOf(trace []TraceInst) (regs []isa.Reg, producer []int) {
-	last := make(map[isa.Reg]int)
+	// Dense domain: architectural registers index a fixed-size array
+	// directly (-1 = never defined), avoiding a map in mapping-session
+	// setup.
+	var last [isa.NumRegs]int
+	for i := range last {
+		last[i] = -1
+	}
 	var order []isa.Reg
 	for i, ti := range trace {
 		if ti.Inst.Op.HasDest() && ti.Inst.Dest != isa.RegZero && ti.Inst.Dest.Valid() {
-			if _, seen := last[ti.Inst.Dest]; !seen {
+			if last[ti.Inst.Dest] < 0 {
 				order = append(order, ti.Inst.Dest)
 			}
 			last[ti.Inst.Dest] = i
@@ -73,13 +79,16 @@ type tables struct {
 	policy Policy
 
 	// prod maps a value id (physical register for the online session,
-	// trace index for static engines) to its producing trace index.
-	prod map[int]int
+	// trace index for static engines) to its producing trace index; -1
+	// marks an id with no producer. Value ids are small dense integers,
+	// so a lazily grown slice replaces the seed's map.
+	prod []int
 	// stripeOf maps trace index -> placed stripe.
 	stripeOf []int
 	// reach maps a value id to the highest stripe its route currently
 	// feeds; consumers at stripes (producer, reach] read it for free.
-	reach map[int]int
+	// Indexed like prod; 0 (the default) means "reaches nothing yet".
+	reach []int
 	// slotsUsed counts allocated pass-register slots per stripe.
 	slotsUsed []int
 	// peUsed marks allocated PEs.
@@ -92,12 +101,11 @@ func newTables(g fabric.Geometry, traceLen int) *tables {
 	t := &tables{
 		geom:      g,
 		policy:    Table2Policy,
-		prod:      make(map[int]int),
 		stripeOf:  make([]int, traceLen),
-		reach:     make(map[int]int),
 		slotsUsed: make([]int, g.Stripes),
 		peUsed:    make([][]bool, g.Stripes),
 	}
+	t.ensureID(traceLen - 1)
 	for i := range t.stripeOf {
 		t.stripeOf[i] = -1
 	}
@@ -105,6 +113,30 @@ func newTables(g fabric.Geometry, traceLen int) *tables {
 		t.peUsed[s] = make([]bool, g.PEsPerStripe())
 	}
 	return t
+}
+
+// ensureID grows the value-id tables to cover id.
+func (t *tables) ensureID(id int) {
+	for len(t.prod) <= id {
+		t.prod = append(t.prod, -1)
+		t.reach = append(t.reach, 0)
+	}
+}
+
+// prodOf returns valueID's producing trace index, if it has one.
+func (t *tables) prodOf(id int) (int, bool) {
+	if id < 0 || id >= len(t.prod) || t.prod[id] < 0 {
+		return 0, false
+	}
+	return t.prod[id], true
+}
+
+// reachOf returns the highest stripe valueID's route currently feeds.
+func (t *tables) reachOf(id int) int {
+	if id < 0 || id >= len(t.reach) {
+		return 0
+	}
+	return t.reach[id]
 }
 
 // operandView describes one source operand of a candidate: either a live-in
@@ -172,7 +204,9 @@ type scoreResult struct {
 // operands onto a PE in stripe s.
 func (t *tables) priorityGen(ops [2]operandView, s int) scoreResult {
 	needInputs := 0
-	seenLiveIn := make(map[isa.Reg]bool, 2)
+	// At most two operands, so duplicate live-in detection is a direct
+	// comparison, not a map.
+	var seenLiveIn [2]isa.Reg
 	canReuse, canRoute := 0, 0
 	nonLive := 0
 	reuse := [2]bool{}
@@ -182,14 +216,21 @@ func (t *tables) priorityGen(ops [2]operandView, s int) scoreResult {
 			continue
 		}
 		if op.liveIn {
-			if !seenLiveIn[op.arch] {
-				seenLiveIn[op.arch] = true
+			dup := false
+			for k := 0; k < needInputs; k++ {
+				if seenLiveIn[k] == op.arch {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seenLiveIn[needInputs] = op.arch
 				needInputs++
 			}
 			continue
 		}
 		nonLive++
-		prodIdx, ok := t.prod[op.valueID]
+		prodIdx, ok := t.prodOf(op.valueID)
 		if !ok {
 			// Producer unknown: treat as infeasible (the engines
 			// guarantee producers are placed first, so this is a
@@ -201,7 +242,7 @@ func (t *tables) priorityGen(ops [2]operandView, s int) scoreResult {
 			// Acyclic fabric: operands come from earlier stripes only.
 			return scoreResult{score: -1}
 		}
-		if s <= t.reach[op.valueID] {
+		if s <= t.reachOf(op.valueID) {
 			canReuse++
 			reuse[i] = true
 		} else if t.canExtend(op.valueID, s) {
@@ -226,7 +267,7 @@ func (t *tables) priorityGen(ops [2]operandView, s int) scoreResult {
 // canExtend reports whether the route of valueID can be extended to feed
 // stripe s (OverallUsage lookup).
 func (t *tables) canExtend(valueID, s int) bool {
-	from := t.reach[valueID]
+	from := t.reachOf(valueID)
 	for k := from; k < s; k++ {
 		if t.slotsUsed[k] >= t.geom.RouteCapacity() {
 			return false
@@ -242,6 +283,7 @@ func (t *tables) place(idx, destID int, ops [2]operandView, stripe, pe int) [2]f
 	t.peUsed[stripe][pe] = true
 	t.stripeOf[idx] = stripe
 	if destID >= 0 {
+		t.ensureID(destID)
 		t.prod[destID] = idx
 		// A freshly produced value is directly visible to the next
 		// stripe without consuming pass registers.
@@ -268,6 +310,8 @@ func (t *tables) place(idx, destID int, ops [2]operandView, stripe, pe int) [2]f
 			}
 			t.reach[op.valueID] = stripe
 		}
+		// op.valueID was scored feasible, so its producer was placed and
+		// ensureID already covers it; direct indexing is safe.
 		out[i] = fabric.Operand{
 			Kind:   fabric.SrcProducer,
 			Index:  prodIdx,

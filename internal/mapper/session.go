@@ -40,11 +40,11 @@ type Session struct {
 
 	t *tables
 
-	// Sequence-number bookkeeping.
-	seqToIdx map[uint64]int
+	// Sequence-number bookkeeping. The host fetches the trace region as
+	// one consecutive run (fetch diverging from the trace path aborts the
+	// session), so trace index = seq - firstSeq: no per-seq map is needed.
 	nextIdx  int // next trace position expected at fetch
 	firstSeq uint64
-	lastSeq  uint64
 	haveSeq  bool
 
 	// Scheduling frontier.
@@ -77,7 +77,6 @@ func NewSession(trace []TraceInst, g fabric.Geometry, startPC, exitPC int) *Sess
 		startPC:   startPC,
 		exitPC:    exitPC,
 		t:         newTables(g, len(trace)),
-		seqToIdx:  make(map[uint64]int, len(trace)),
 		placedPE:  make([]int, len(trace)),
 		placedOps: make([][2]operandView, len(trace)),
 		rawOps:    make([][2]fabric.Operand, len(trace)),
@@ -115,14 +114,26 @@ func (s *Session) NoteFetched(pc int, seq uint64) bool {
 		s.fail(FailAborted)
 		return false
 	}
-	s.seqToIdx[seq] = s.nextIdx
 	if s.nextIdx == 0 {
 		s.firstSeq = seq
 		s.haveSeq = true
+	} else if seq != s.firstSeq+uint64(s.nextIdx) {
+		// Defends the arithmetic seq->index scheme: a non-consecutive
+		// sequence number means something else was fetched mid-trace.
+		s.fail(FailAborted)
+		return false
 	}
-	s.lastSeq = seq
 	s.nextIdx++
 	return true
+}
+
+// seqIdx maps a sequence number to its trace index; ok is false for
+// instructions outside the fetched trace region.
+func (s *Session) seqIdx(seq uint64) (int, bool) {
+	if !s.haveSeq || seq < s.firstSeq || seq-s.firstSeq >= uint64(s.nextIdx) {
+		return 0, false
+	}
+	return int(seq - s.firstSeq), true
 }
 
 // Covered reports whether all trace instructions have been fetched.
@@ -136,7 +147,7 @@ func (s *Session) GateDispatch(pc int, seq uint64, robEmpty bool) bool {
 	if s.state != SessionActive {
 		return true
 	}
-	idx, isTraceInst := s.seqToIdx[seq]
+	idx, isTraceInst := s.seqIdx(seq)
 	if !isTraceInst {
 		// Instructions older than the trace drain freely; younger ones
 		// hold until mapping completes so the stripe structure is not
@@ -181,7 +192,7 @@ func (s *Session) operandsOf(e *ooo.RSEntry) [2]operandView {
 	p1, p2 := e.PhysSrcs()
 	phys := [2]int{p1, p2}
 	for i := 0; i < n; i++ {
-		if _, produced := s.t.prod[phys[i]]; produced {
+		if _, produced := s.t.prodOf(phys[i]); produced {
 			ops[i] = operandView{valid: true, liveIn: false, valueID: phys[i]}
 		} else {
 			ops[i] = operandView{valid: true, liveIn: true, arch: srcs[i]}
@@ -201,7 +212,7 @@ func (s *Session) Select(fu isa.FUType, unit int, ready []*ooo.RSEntry) int {
 	// still in flight; they issue under the host priority rule.
 	traceCands := 0
 	for _, e := range ready {
-		if _, isTrace := s.seqToIdx[e.Seq()]; isTrace {
+		if _, isTrace := s.seqIdx(e.Seq()); isTrace {
 			traceCands++
 		}
 	}
@@ -215,7 +226,7 @@ func (s *Session) Select(fu isa.FUType, unit int, ready []*ooo.RSEntry) int {
 	}
 	best, bestScore := -1, -1
 	for i, e := range ready {
-		if _, isTrace := s.seqToIdx[e.Seq()]; !isTrace {
+		if _, isTrace := s.seqIdx(e.Seq()); !isTrace {
 			continue
 		}
 		sc := s.t.priorityGen(s.operandsOf(e), s.stripe)
@@ -245,7 +256,7 @@ func (s *Session) NoteIssued(e *ooo.RSEntry, fu isa.FUType, unit int) {
 	if s.state != SessionActive {
 		return
 	}
-	idx, isTrace := s.seqToIdx[e.Seq()]
+	idx, isTrace := s.seqIdx(e.Seq())
 	if !isTrace {
 		return
 	}
@@ -275,7 +286,7 @@ func (s *Session) NoteWriteback(pc int, seq uint64) {
 	if s.state != SessionActive {
 		return
 	}
-	if _, isTrace := s.seqToIdx[seq]; !isTrace {
+	if _, isTrace := s.seqIdx(seq); !isTrace {
 		return
 	}
 	s.wbCount++

@@ -253,7 +253,7 @@ func failureKind(t *tables, ops [2]operandView, g fabric.Geometry) FailReason {
 	}
 	for _, op := range ops {
 		if op.valid && !op.liveIn {
-			if _, ok := t.prod[op.valueID]; ok && !t.canExtend(op.valueID, g.Stripes-1) {
+			if _, ok := t.prodOf(op.valueID); ok && !t.canExtend(op.valueID, g.Stripes-1) {
 				return FailRouting
 			}
 		}

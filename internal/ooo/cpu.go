@@ -60,6 +60,15 @@ type ROBEntry struct {
 	traceLiveOutPhys []int
 	traceOldPhys     []int
 	traceLiveInPhys  []int
+
+	// active is true while the entry occupies the ROB. Writeback checks it
+	// instead of scanning the ROB: completions of entries that committed or
+	// squashed while their event was in flight are skipped.
+	active bool
+	// pending counts scheduled-but-unfired completion events. An entry is
+	// recycled through the CPU's pool only when it reaches zero, so a late
+	// event can never observe a reused entry.
+	pending int32
 }
 
 // IsTrace reports whether the entry is a fabric trace invocation.
@@ -130,8 +139,11 @@ type CPU struct {
 	fetchStall  uint64 // fetch blocked until this cycle (icache miss)
 	haltFetched bool
 
-	// Front-end queue (fetched, waiting for rename+dispatch).
-	frontend []fetchSlot
+	// Front-end queue (fetched, waiting for rename+dispatch), as a
+	// head-indexed deque over feBuf: pops advance feHead, pushes append.
+	// Access through feLive/feLen/fePush/fePopFront only.
+	feBuf  []fetchSlot
+	feHead int
 
 	// Register renaming.
 	rat          []int // arch reg -> phys
@@ -139,17 +151,33 @@ type CPU struct {
 	regs         []physReg
 	freeList     []int
 
-	// Backend structures.
-	rob   []*ROBEntry // in flight, oldest first
-	rs    []*ROBEntry // dispatched, waiting to issue
-	loads []*ROBEntry // load queue (program order)
-	strs  []*ROBEntry // store queue (program order)
+	// Backend structures. The ROB is a head-indexed deque like the front
+	// end (robLive/robLen/robPush/robPopFront); rs, loads and strs keep
+	// their program/dispatch order, with removals compacting in place.
+	robBuf  []*ROBEntry // in flight, oldest first, starting at robHead
+	robHead int
+	rs      []*ROBEntry // dispatched, waiting to issue
+	loads   []*ROBEntry // load queue (program order)
+	strs    []*ROBEntry // store queue (program order)
 
-	// Completion events by cycle.
-	events map[uint64][]completion
+	// Completion events, bucketed by cycle (see wheel.go).
+	wheel eventWheel
 
 	// Per-FU-unit next-free cycle, indexed by pool then unit.
 	fuFree [isa.NumFUTypes][]uint64
+
+	// Scratch state owned by the CPU so the per-cycle loop is allocation
+	// free in steady state. Contents are valid only within the pipeline
+	// stage that fills them.
+	entryPool    []*ROBEntry                // recycled ROB entries (LIFO)
+	flushScratch []*ROBEntry                // squash: entries awaiting release
+	rsWrapBuf    []RSEntry                  // issue: candidate wrappers
+	readyScratch [isa.NumFUTypes][]*RSEntry // issue: per-FU candidate lists
+	traceScratch []*ROBEntry                // issue: ready trace invocations
+	liveInBuf    []uint64                   // issueTrace: TraceInput.LiveIns
+	arrivalBuf   []int64                    // issueTrace: TraceInput.Arrivals
+	readMemFn    func(addr uint64) uint64   // issueTrace: shared ReadMem closure
+	readMemSeq   uint64                     // sequence readMemFn forwards for
 
 	stats Stats
 }
@@ -172,7 +200,14 @@ func New(cfg Config, prog *program.Program, m *mem.Memory, hier *cache.Hierarchy
 		rat:          make([]int, isa.NumRegs),
 		committedRAT: make([]int, isa.NumRegs),
 		regs:         make([]physReg, cfg.PhysRegs),
-		events:       make(map[uint64][]completion),
+		// Pre-size every queue to its architectural bound so the hot loop
+		// never grows a backing array after warm-up.
+		feBuf:    make([]fetchSlot, 0, cfg.ROBSize+cfg.FetchWidth),
+		robBuf:   make([]*ROBEntry, 0, cfg.ROBSize),
+		rs:       make([]*ROBEntry, 0, cfg.RSSize),
+		loads:    make([]*ROBEntry, 0, cfg.LQSize),
+		strs:     make([]*ROBEntry, 0, cfg.SQSize),
+		freeList: make([]int, 0, cfg.PhysRegs),
 	}
 	// Phys reg 0 is the always-zero register; all arch regs start mapped
 	// to it (initial architectural state is zero).
@@ -187,7 +222,112 @@ func New(cfg Config, prog *program.Program, m *mem.Memory, hier *cache.Hierarchy
 	for t := range c.fuFree {
 		c.fuFree[t] = make([]uint64, cfg.FUCounts[t])
 	}
+	// One ReadMem closure for the whole run: issueTrace points readMemSeq
+	// at the invocation being evaluated (the TraceInput contract makes
+	// ReadMem transient, valid only during Evaluate).
+	c.readMemFn = func(addr uint64) uint64 {
+		v, _, _ := c.forwardFromStores(c.readMemSeq, addr)
+		return v
+	}
 	return c
+}
+
+// ------------------------------------------------- queue/pool accessors --
+
+// robLive returns the in-flight entries, oldest first.
+func (c *CPU) robLive() []*ROBEntry { return c.robBuf[c.robHead:] }
+
+// robLen returns the ROB occupancy.
+func (c *CPU) robLen() int { return len(c.robBuf) - c.robHead }
+
+func (c *CPU) robPush(e *ROBEntry) {
+	if len(c.robBuf) == cap(c.robBuf) && c.robHead > 0 {
+		n := copy(c.robBuf, c.robBuf[c.robHead:])
+		clearEntryTail(c.robBuf, n)
+		c.robBuf = c.robBuf[:n]
+		c.robHead = 0
+	}
+	c.robBuf = append(c.robBuf, e)
+	e.active = true
+}
+
+func (c *CPU) robPopFront() *ROBEntry {
+	e := c.robBuf[c.robHead]
+	c.robBuf[c.robHead] = nil
+	c.robHead++
+	if c.robHead == len(c.robBuf) {
+		c.robBuf = c.robBuf[:0]
+		c.robHead = 0
+	}
+	e.active = false
+	return e
+}
+
+// feLive returns the queued fetch slots, oldest first.
+func (c *CPU) feLive() []fetchSlot { return c.feBuf[c.feHead:] }
+
+// feLen returns the front-end queue occupancy.
+func (c *CPU) feLen() int { return len(c.feBuf) - c.feHead }
+
+func (c *CPU) fePush(s fetchSlot) {
+	if len(c.feBuf) == cap(c.feBuf) && c.feHead > 0 {
+		n := copy(c.feBuf, c.feBuf[c.feHead:])
+		for i := n; i < len(c.feBuf); i++ {
+			c.feBuf[i] = fetchSlot{}
+		}
+		c.feBuf = c.feBuf[:n]
+		c.feHead = 0
+	}
+	c.feBuf = append(c.feBuf, s)
+}
+
+func (c *CPU) fePopFront() {
+	c.feBuf[c.feHead] = fetchSlot{}
+	c.feHead++
+	if c.feHead == len(c.feBuf) {
+		c.feBuf = c.feBuf[:0]
+		c.feHead = 0
+	}
+}
+
+// newEntry returns a zeroed ROBEntry, recycled from the pool when possible.
+func (c *CPU) newEntry() *ROBEntry {
+	if n := len(c.entryPool); n > 0 {
+		e := c.entryPool[n-1]
+		c.entryPool[n-1] = nil
+		c.entryPool = c.entryPool[:n-1]
+		return e
+	}
+	return &ROBEntry{}
+}
+
+// freeEntry recycles e once it has left every pipeline structure. Entries
+// with unfired completion events are left to the garbage collector instead:
+// the events still reference them, and a recycled entry must never be
+// observable through a stale event.
+func (c *CPU) freeEntry(e *ROBEntry) {
+	if e.pending != 0 {
+		return
+	}
+	lo, old, li := e.traceLiveOutPhys[:0], e.traceOldPhys[:0], e.traceLiveInPhys[:0]
+	*e = ROBEntry{traceLiveOutPhys: lo, traceOldPhys: old, traceLiveInPhys: li}
+	c.entryPool = append(c.entryPool, e)
+}
+
+// clearEntryTail zeroes s[from:] so vacated slots do not retain entries.
+func clearEntryTail(s []*ROBEntry, from int) {
+	for i := from; i < len(s); i++ {
+		s[i] = nil
+	}
+}
+
+// resizeInts returns s with length n, reusing its backing array when large
+// enough.
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 // SetHooks installs the DynaSpAM hooks. Must be called before Run.
@@ -227,10 +367,10 @@ func (c *CPU) ArchRegFloat(r isa.Reg) float64 { return math.Float64frombits(c.Ar
 // DebugState summarizes the pipeline's head-of-ROB state for deadlock
 // diagnostics.
 func (c *CPU) DebugState() string {
-	if len(c.rob) == 0 {
-		return fmt.Sprintf("cycle %d pc %d: ROB empty, frontend %d, rs %d", c.cycle, c.pc, len(c.frontend), len(c.rs))
+	if c.robLen() == 0 {
+		return fmt.Sprintf("cycle %d pc %d: ROB empty, frontend %d, rs %d", c.cycle, c.pc, c.feLen(), len(c.rs))
 	}
-	h := c.rob[0]
+	h := c.robLive()[0]
 	extra := ""
 	if h.IsTrace() {
 		extra = fmt.Sprintf(" trace(res=%v liveInReady=%v)", h.TraceRes != nil, func() []bool {
@@ -242,7 +382,7 @@ func (c *CPU) DebugState() string {
 		}())
 	}
 	return fmt.Sprintf("cycle %d pc %d: head seq=%d pc=%d op=%s issued=%v executed=%v%s (rob %d, rs %d, fe %d)",
-		c.cycle, c.pc, h.Seq, h.PC, h.Inst.Op, h.Issued, h.Executed, extra, len(c.rob), len(c.rs), len(c.frontend))
+		c.cycle, c.pc, h.Seq, h.PC, h.Inst.Op, h.Issued, h.Executed, extra, c.robLen(), len(c.rs), c.feLen())
 }
 
 // Run simulates until the halt instruction commits. It returns an error if
@@ -298,7 +438,7 @@ func (c *CPU) fetch() {
 		return
 	}
 	// Front-end queue backpressure.
-	if len(c.frontend) >= c.cfg.ROBSize {
+	if c.feLen() >= c.cfg.ROBSize {
 		return
 	}
 	fetched := 0
@@ -327,18 +467,14 @@ func (c *CPU) fetch() {
 			return
 		}
 		in := c.prog.At(c.pc)
-		e := &ROBEntry{
-			Seq:      c.nextSeq(),
-			PC:       c.pc,
-			Inst:     in,
-			PhysDest: -1,
-			OldPhys:  -1,
-			PhysSrc1: -1,
-			PhysSrc2: -1,
-			LQIndex:  -1,
-			SQIndex:  -1,
-		}
-		c.frontend = append(c.frontend, fetchSlot{entry: e, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)})
+		e := c.newEntry()
+		e.Seq = c.nextSeq()
+		e.PC = c.pc
+		e.Inst = in
+		e.PhysDest, e.OldPhys = -1, -1
+		e.PhysSrc1, e.PhysSrc2 = -1, -1
+		e.LQIndex, e.SQIndex = -1, -1
+		c.fePush(fetchSlot{entry: e, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)})
 		c.stats.Fetched++
 		if c.hooks.OnFetch != nil {
 			c.hooks.OnFetch(c.pc, e.Seq)
@@ -385,23 +521,19 @@ func (c *CPU) fetch() {
 // branch history and shifting in the trace's predicted directions so that
 // lookahead past the invocation stays consistent.
 func (c *CPU) fetchTrace(tr *TraceInject) {
-	e := &ROBEntry{
-		Seq:      c.nextSeq(),
-		PC:       tr.StartPC,
-		Inst:     isa.Inst{Op: isa.OpNop, Dest: isa.RegInvalid, Src1: isa.RegInvalid, Src2: isa.RegInvalid},
-		PhysDest: -1,
-		OldPhys:  -1,
-		PhysSrc1: -1,
-		PhysSrc2: -1,
-		LQIndex:  -1,
-		SQIndex:  -1,
-		Trace:    tr,
-	}
+	e := c.newEntry()
+	e.Seq = c.nextSeq()
+	e.PC = tr.StartPC
+	e.Inst = isa.Inst{Op: isa.OpNop, Dest: isa.RegInvalid, Src1: isa.RegInvalid, Src2: isa.RegInvalid}
+	e.PhysDest, e.OldPhys = -1, -1
+	e.PhysSrc1, e.PhysSrc2 = -1, -1
+	e.LQIndex, e.SQIndex = -1, -1
+	e.Trace = tr
 	e.HistAtPred = c.bp.History()
 	for _, d := range tr.PredDirs {
 		c.bp.SpeculateHistory(d)
 	}
-	c.frontend = append(c.frontend, fetchSlot{entry: e, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)})
+	c.fePush(fetchSlot{entry: e, readyAt: c.cycle + uint64(c.cfg.FrontendDepth)})
 	c.stats.Fetched++
 	c.pc = tr.ExitPC
 }
@@ -418,16 +550,16 @@ func (c *CPU) nextSeq() uint64 {
 // queues.
 func (c *CPU) renameDispatch() {
 	n := 0
-	for n < c.cfg.RenameWidth && len(c.frontend) > 0 {
-		slot := c.frontend[0]
+	for n < c.cfg.RenameWidth && c.feLen() > 0 {
+		slot := c.feLive()[0]
 		if slot.readyAt > c.cycle {
 			return
 		}
 		e := slot.entry
-		if c.hooks.DispatchGate != nil && !c.hooks.DispatchGate(e.PC, e.Seq, len(c.rob) == 0) {
+		if c.hooks.DispatchGate != nil && !c.hooks.DispatchGate(e.PC, e.Seq, c.robLen() == 0) {
 			return
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robLen() >= c.cfg.ROBSize {
 			return
 		}
 		if e.IsTrace() {
@@ -439,8 +571,8 @@ func (c *CPU) renameDispatch() {
 				return
 			}
 		}
-		c.frontend = c.frontend[1:]
-		c.rob = append(c.rob, e)
+		c.fePopFront()
+		c.robPush(e)
 		e.Dispatched = true
 		e.DispatchedAt = c.cycle
 		c.stats.Renamed++
@@ -516,13 +648,13 @@ func (c *CPU) renameTrace(e *ROBEntry) bool {
 	if need > len(c.freeList) {
 		return false
 	}
-	e.traceLiveInPhys = make([]int, len(tr.LiveIns))
+	e.traceLiveInPhys = resizeInts(e.traceLiveInPhys, len(tr.LiveIns))
 	for i, r := range tr.LiveIns {
 		e.traceLiveInPhys[i] = c.rat[r]
 		c.stats.RegReads++
 	}
-	e.traceLiveOutPhys = make([]int, len(tr.LiveOuts))
-	e.traceOldPhys = make([]int, len(tr.LiveOuts))
+	e.traceLiveOutPhys = resizeInts(e.traceLiveOutPhys, len(tr.LiveOuts))
+	e.traceOldPhys = resizeInts(e.traceOldPhys, len(tr.LiveOuts))
 	for i, r := range tr.LiveOuts {
 		if r == isa.RegZero {
 			e.traceLiveOutPhys[i] = -1
@@ -593,7 +725,7 @@ func (c *CPU) loadMayIssue(e *ROBEntry) bool {
 	// store sets; conservative mode waits for them, speculative mode
 	// waits only when the store-sets unit links this load to one of the
 	// invocation's stores.
-	for _, o := range c.rob {
+	for _, o := range c.robLive() {
 		if o.Seq >= e.Seq {
 			break
 		}
@@ -653,7 +785,7 @@ func (c *CPU) traceReady(e *ROBEntry) bool {
 	// Older trace invocations must have evaluated: their store buffers
 	// are this invocation's forwarding source (in-order wave evaluation
 	// through the configuration FIFOs).
-	for _, o := range c.rob {
+	for _, o := range c.robLive() {
 		if o.Seq >= e.Seq {
 			break
 		}
@@ -675,9 +807,13 @@ func (c *CPU) issue() {
 		return
 	}
 	issued := 0
-	// Gather ready entries per FU pool once.
-	var readyByFU [isa.NumFUTypes][]*RSEntry
-	var trace []*ROBEntry
+	// Gather ready entries per FU pool once, into CPU-owned scratch. The
+	// wrapper buffer is filled completely before any pointers are taken:
+	// appends may move rsWrapBuf's backing array, so &rsWrapBuf[i] is only
+	// stable once the candidate set is final. The pointers are transient —
+	// valid for this issue stage only (see Hooks.SelectOverride).
+	c.rsWrapBuf = c.rsWrapBuf[:0]
+	c.traceScratch = c.traceScratch[:0]
 	for _, e := range c.rs {
 		if e.Issued {
 			continue
@@ -686,18 +822,24 @@ func (c *CPU) issue() {
 			continue
 		}
 		if e.IsTrace() {
-			trace = append(trace, e)
+			c.traceScratch = append(c.traceScratch, e)
 			continue
 		}
-		fu := e.Inst.Op.FU()
-		readyByFU[fu] = append(readyByFU[fu], &RSEntry{ROB: e})
+		c.rsWrapBuf = append(c.rsWrapBuf, RSEntry{ROB: e})
+	}
+	for fu := range c.readyScratch {
+		c.readyScratch[fu] = c.readyScratch[fu][:0]
+	}
+	for i := range c.rsWrapBuf {
+		fu := c.rsWrapBuf[i].ROB.Inst.Op.FU()
+		c.readyScratch[fu] = append(c.readyScratch[fu], &c.rsWrapBuf[i])
 	}
 	// Trace invocations issue on a virtual fabric port, not an OOO FU.
-	for _, e := range trace {
+	for _, e := range c.traceScratch {
 		c.issueTrace(e)
 	}
 	for fu := isa.FUType(0); fu < isa.NumFUTypes; fu++ {
-		cand := readyByFU[fu]
+		cand := c.readyScratch[fu]
 		for unit := 0; unit < c.cfg.FUCounts[fu] && issued < c.cfg.IssueWidth; unit++ {
 			if c.fuFree[fu][unit] > c.cycle {
 				continue // unit busy (non-pipelined op)
@@ -712,22 +854,30 @@ func (c *CPU) issue() {
 					continue
 				}
 			}
-			e := cand[idx].ROB
-			cand = append(cand[:idx:idx], cand[idx+1:]...)
-			c.issueOne(e, fu, unit)
+			r := cand[idx]
+			// Order-preserving removal: SelectOverride tie-breaks on
+			// candidate order, so a swap-with-tail would change
+			// architectural results. Zero the vacated tail slot.
+			copy(cand[idx:], cand[idx+1:])
+			cand[len(cand)-1] = nil
+			cand = cand[:len(cand)-1]
+			c.issueOne(r, fu, unit)
 			issued++
 		}
-		readyByFU[fu] = cand
+		c.readyScratch[fu] = cand
 	}
 	c.compactRS()
 }
 
-// issueOne executes e functionally and schedules its writeback.
-func (c *CPU) issueOne(e *ROBEntry, fu isa.FUType, unit int) {
+// issueOne executes r's instruction functionally and schedules its
+// writeback. r points into the issue stage's scratch and is reused next
+// cycle; hooks must not retain it.
+func (c *CPU) issueOne(r *RSEntry, fu isa.FUType, unit int) {
+	e := r.ROB
 	e.Issued = true
 	c.stats.Issued++
 	if c.hooks.OnIssue != nil {
-		c.hooks.OnIssue(&RSEntry{ROB: e}, fu, unit)
+		c.hooks.OnIssue(r, fu, unit)
 	}
 	in := &e.Inst
 	lat := in.Op.Latency()
@@ -803,7 +953,7 @@ func (c *CPU) forwardFromStores(seq uint64, addr uint64) (val uint64, forwarded,
 			}
 		}
 	}
-	for _, o := range c.rob {
+	for _, o := range c.robLive() {
 		if o.Seq >= seq {
 			break
 		}
@@ -835,14 +985,20 @@ func (c *CPU) issueTrace(e *ROBEntry) {
 	c.stats.Issued++
 	c.stats.TraceInvocations++
 	tr := e.Trace
+	// LiveIns/Arrivals/ReadMem are CPU-owned scratch, valid only during
+	// Evaluate (the TraceInput contract).
+	if cap(c.liveInBuf) < len(tr.LiveIns) {
+		c.liveInBuf = make([]uint64, len(tr.LiveIns))
+		c.arrivalBuf = make([]int64, len(tr.LiveIns))
+	}
+	c.liveInBuf = c.liveInBuf[:len(tr.LiveIns)]
+	c.arrivalBuf = c.arrivalBuf[:len(tr.LiveIns)]
+	c.readMemSeq = e.Seq
 	in := TraceInput{
-		LiveIns:  make([]uint64, len(tr.LiveIns)),
-		Arrivals: make([]int64, len(tr.LiveIns)),
+		LiveIns:  c.liveInBuf,
+		Arrivals: c.arrivalBuf,
 		Cycle:    c.cycle,
-		ReadMem: func(addr uint64) uint64 {
-			v, _, _ := c.forwardFromStores(e.Seq, addr)
-			return v
-		},
+		ReadMem:  c.readMemFn,
 	}
 	for i, p := range e.traceLiveInPhys {
 		in.LiveIns[i] = c.regs[p].value
@@ -882,10 +1038,12 @@ func (c *CPU) schedule(at uint64, comp completion) {
 	if at <= c.cycle {
 		at = c.cycle + 1
 	}
-	c.events[at] = append(c.events[at], comp)
+	comp.entry.pending++
+	c.wheel.schedule(c.cycle, at, comp)
 }
 
-// compactRS removes issued entries from the reservation stations.
+// compactRS removes issued entries from the reservation stations, zeroing
+// the vacated tail so no stale entries linger in the backing array.
 func (c *CPU) compactRS() {
 	out := c.rs[:0]
 	for _, e := range c.rs {
@@ -893,25 +1051,29 @@ func (c *CPU) compactRS() {
 			out = append(out, e)
 		}
 	}
+	clearEntryTail(c.rs, len(out))
 	c.rs = out
 }
 
 // ------------------------------------------------------------ writeback --
 
 func (c *CPU) writeback() {
-	comps := c.events[c.cycle]
-	if comps == nil {
+	comps := c.wheel.take(c.cycle)
+	if len(comps) == 0 {
 		return
 	}
-	delete(c.events, c.cycle)
-	// Squashes triggered mid-list do not stop processing: the inROB
+	// Squashes triggered mid-list do not stop processing: the active
 	// re-check skips completions of flushed entries, while surviving
 	// entries' completions must still land this cycle.
 	for _, comp := range comps {
 		e := comp.entry
-		if !c.inROB(e) {
-			continue // squashed while in flight
+		e.pending--
+		if !e.active {
+			continue // squashed (or committed) while in flight
 		}
+		// A trace-done handler can squash e itself, recycling the entry
+		// mid-iteration; capture the identity the hook reports first.
+		pc, seq := e.PC, e.Seq
 		switch comp.kind {
 		case compALU:
 			c.writebackALU(e)
@@ -930,8 +1092,13 @@ func (c *CPU) writeback() {
 			c.writebackTraceLiveOut(e, comp.liveOutIdx)
 		}
 		if c.hooks.OnWriteback != nil && comp.kind != compTraceLiveOut {
-			c.hooks.OnWriteback(e.PC, e.Seq)
+			c.hooks.OnWriteback(pc, seq)
 		}
+	}
+	// The drained slice aliases wheel storage reused on later cycles; zero
+	// it so processed events do not pin their entries.
+	for i := range comps {
+		comps[i] = completion{}
 	}
 }
 
@@ -1037,7 +1204,7 @@ func (c *CPU) checkViolation(e *ROBEntry) bool {
 		c.mdp.Violation(uint64(l.PC), uint64(e.PC))
 	}
 	// Trace invocations: their recorded loads are snooped the same way.
-	for _, o := range c.rob {
+	for _, o := range c.robLive() {
 		if o.Seq <= e.Seq || !o.IsTrace() || o.TraceRes == nil {
 			continue
 		}
@@ -1173,15 +1340,6 @@ func (c *CPU) writebackTraceLiveOut(e *ROBEntry, i int) {
 	}
 }
 
-func (c *CPU) inROB(e *ROBEntry) bool {
-	for _, o := range c.rob {
-		if o == e {
-			return true
-		}
-	}
-	return false
-}
-
 // ----------------------------------------------------------------- squash --
 
 // squashAfter flushes every instruction strictly younger than seq and
@@ -1199,24 +1357,34 @@ func (c *CPU) squashBoundary(seq uint64, inclusive bool, pc int) {
 		return s <= seq
 	}
 	// Flush front end entirely, notifying trace injections that never
-	// reached the ROB.
-	for _, slot := range c.frontend {
-		if slot.entry.IsTrace() && slot.entry.Trace.OnSquash != nil {
-			slot.entry.Trace.OnSquash(SquashExternal)
+	// reached the ROB. Front-end entries have no scheduled events and sit
+	// in no other structure, so they recycle immediately.
+	for i := c.feHead; i < len(c.feBuf); i++ {
+		e := c.feBuf[i].entry
+		if e.IsTrace() && e.Trace.OnSquash != nil {
+			e.Trace.OnSquash(SquashExternal)
 		}
+		c.feBuf[i] = fetchSlot{}
+		c.freeEntry(e)
 	}
-	c.frontend = c.frontend[:0]
+	c.feBuf = c.feBuf[:0]
+	c.feHead = 0
 	c.haltFetched = false
 	c.fetchStall = 0
 
-	// Trim ROB.
-	var kept []*ROBEntry
-	for _, e := range c.rob {
+	// Trim ROB in place: survivors compact to the front of the backing
+	// array (the write index never catches up with the read index), and
+	// flushed entries park in flushScratch until their events are trimmed.
+	c.flushScratch = c.flushScratch[:0]
+	k := 0
+	for _, e := range c.robLive() {
 		if keep(e.Seq) {
-			kept = append(kept, e)
+			c.robBuf[k] = e
+			k++
 			continue
 		}
 		c.stats.Squashed++
+		e.active = false
 		if e.IsTrace() {
 			// The initiator already notified the boundary entry
 			// itself; every other squashed invocation is external.
@@ -1231,14 +1399,18 @@ func (c *CPU) squashBoundary(seq uint64, inclusive bool, pc int) {
 		} else if e.PhysDest >= 0 {
 			c.freeList = append(c.freeList, e.PhysDest)
 		}
+		c.flushScratch = append(c.flushScratch, e)
 	}
-	c.rob = kept
+	clearEntryTail(c.robBuf, k)
+	c.robBuf = c.robBuf[:k]
+	c.robHead = 0
 
-	// Rebuild RS / LQ / SQ from surviving entries.
+	// Rebuild RS / LQ / SQ from surviving entries, zeroing vacated tails.
+	oldRS, oldLoads, oldStrs := len(c.rs), len(c.loads), len(c.strs)
 	c.rs = c.rs[:0]
 	c.loads = c.loads[:0]
 	c.strs = c.strs[:0]
-	for _, e := range c.rob {
+	for _, e := range c.robLive() {
 		if !e.Issued {
 			c.rs = append(c.rs, e)
 		}
@@ -1252,27 +1424,34 @@ func (c *CPU) squashBoundary(seq uint64, inclusive bool, pc int) {
 			c.strs = append(c.strs, e)
 		}
 	}
+	clearEntryTail(c.rs[:oldRS], len(c.rs))
+	clearEntryTail(c.loads[:oldLoads], len(c.loads))
+	clearEntryTail(c.strs[:oldStrs], len(c.strs))
 
-	// Drop completion events of squashed entries (inROB re-check also
-	// guards, but trimming keeps the event map small).
-	//lint:allow mapiter keep is a pure seq predicate and every write stays keyed by at, so iterations touch disjoint state
-	for at, evs := range c.events {
-		out := evs[:0]
-		for _, ev := range evs {
-			if keep(ev.entry.Seq) {
-				out = append(out, ev)
-			}
+	// Drop completion events of squashed entries (the active re-check in
+	// writeback also guards, but trimming keeps the wheel small and lets
+	// flushed entries recycle). Flushed entries were just marked inactive,
+	// so `!active` is exactly the keep(Seq) predicate here — it also drops
+	// events of already-committed entries, which writeback would skip
+	// anyway.
+	c.wheel.filter(func(ev completion) bool {
+		if ev.entry.active {
+			return false
 		}
-		if len(out) == 0 {
-			delete(c.events, at)
-		} else {
-			c.events[at] = out
-		}
+		ev.entry.pending--
+		return true
+	})
+
+	// Events trimmed: release the flushed entries to the pool.
+	for i, e := range c.flushScratch {
+		c.freeEntry(e)
+		c.flushScratch[i] = nil
 	}
+	c.flushScratch = c.flushScratch[:0]
 
 	// Rebuild the speculative RAT: committed map + surviving renames.
 	copy(c.rat, c.committedRAT)
-	for _, e := range c.rob {
+	for _, e := range c.robLive() {
 		if e.IsTrace() {
 			for i, r := range e.Trace.LiveOuts {
 				if e.traceLiveOutPhys[i] >= 0 {
@@ -1305,8 +1484,8 @@ func (c *CPU) squashBoundary(seq uint64, inclusive bool, pc int) {
 
 func (c *CPU) commit() {
 	n := 0
-	for n < c.cfg.CommitWidth && len(c.rob) > 0 {
-		e := c.rob[0]
+	for n < c.cfg.CommitWidth && c.robLen() > 0 {
+		e := c.robLive()[0]
 		if !e.Executed && !(e.IsTrace() && e.TraceRes != nil && e.TraceRes.ExitMatches && !e.TraceRes.MemViolation) {
 			return
 		}
@@ -1318,7 +1497,8 @@ func (c *CPU) commit() {
 		} else {
 			c.commitInst(e)
 		}
-		c.rob = c.rob[1:]
+		c.robPopFront()
+		c.freeEntry(e)
 		n++
 		if c.stats.HaltSeen {
 			return
@@ -1389,10 +1569,14 @@ func histBit(b bool) uint64 {
 	return 0
 }
 
+// removeEntry deletes e from list preserving order and zeroes the vacated
+// tail slot so the backing array does not retain a stale *ROBEntry.
 func removeEntry(list []*ROBEntry, e *ROBEntry) []*ROBEntry {
 	for i, x := range list {
 		if x == e {
-			return append(list[:i], list[i+1:]...)
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
 		}
 	}
 	return list

@@ -33,6 +33,11 @@ func (k SquashKind) String() string {
 
 // TraceInput is what the fabric receives when an invocation begins
 // evaluation.
+//
+// Transience contract: LiveIns, Arrivals, and ReadMem borrow CPU-owned
+// scratch storage that is reused on later cycles. They are valid only for
+// the duration of the Evaluate call; an evaluator that needs any of them
+// afterwards must copy.
 type TraceInput struct {
 	// LiveIns holds the raw 64-bit values of the injected trace's LiveIns,
 	// in the same order.
@@ -75,6 +80,12 @@ type BranchRec struct {
 }
 
 // TraceResult is the outcome of evaluating one invocation on the fabric.
+//
+// The record slices (LiveOuts, LiveOutDelay, Stores, Loads, Branches) may be
+// pooled by the producer: the framework hands them back at commit (see
+// fabric.(*Fabric).Release via TraceInject.OnCommit), after which they must
+// not be read. Squashed invocations are never released — the squash path
+// still trains the branch predictor from Branches.
 type TraceResult struct {
 	// Latency is the invocation's total cycles from evaluation start to
 	// last result.
@@ -183,11 +194,15 @@ type Hooks struct {
 	// SelectOverride replaces the oldest-first pick for one functional
 	// unit during issue. ready lists the candidate reservation-station
 	// entries that can issue to this unit this cycle; return an index into
-	// ready, or -1 to issue nothing on this unit.
+	// ready, or -1 to issue nothing on this unit. The slice and the
+	// *RSEntry values it holds point into per-cycle scratch owned by the
+	// CPU: both are valid only within the call and must not be retained.
 	SelectOverride func(fu isa.FUType, unit int, ready []*RSEntry) int
 
 	// OnIssue observes each issued instruction with its renamed
-	// registers and the unit it was assigned.
+	// registers and the unit it was assigned. Like SelectOverride's
+	// candidates, e points into per-cycle scratch: read it during the
+	// call, do not retain it.
 	OnIssue func(e *RSEntry, fu isa.FUType, unit int)
 
 	// OnWriteback observes each completed instruction.
