@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke bench bench-baseline bench-compare figures trace-smoke check
+.PHONY: all build test race vet lint bench-smoke bench bench-baseline bench-compare figures trace-smoke serve-smoke check
 
 # Benchmarks covered by the regression gate: the two hot-loop
 # micro-benchmarks plus the end-to-end figure benchmarks whose history
@@ -69,5 +69,27 @@ trace-smoke:
 	grep -q '^{"traceEvents":\[$$' "$$dir/a.json" && \
 	$(GO) run ./cmd/pipeview -validate "$$dir/a.kanata" && \
 	echo "trace-smoke OK"
+
+# Live telemetry smoke test: bring up `dynaspam serve` on an ephemeral
+# port, discover the bound address from the structured "telemetry
+# listening" record, submit a sweep over POST /sweep, require /healthz,
+# a /metrics page that passes `dynaspam lint-metrics`, correct /status
+# progress, and a zero exit on SIGTERM (graceful http.Server.Shutdown).
+serve-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/dynaspam" ./cmd/dynaspam; \
+	"$$dir/dynaspam" serve -addr 127.0.0.1:0 2>"$$dir/serve.log" & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+	  addr=$$(sed -n 's/.*msg="telemetry listening".*addr=\([0-9.:]*\).*/\1/p' "$$dir/serve.log"); \
+	  [ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "serve never bound:"; cat "$$dir/serve.log"; exit 1; }; \
+	curl -sf "http://$$addr/healthz" | grep -q ok; \
+	curl -sf -X POST "http://$$addr/sweep?bench=BP,PF" >/dev/null; \
+	curl -sf "http://$$addr/metrics" >"$$dir/metrics.prom"; \
+	"$$dir/dynaspam" lint-metrics "$$dir/metrics.prom" >/dev/null; \
+	curl -sf "http://$$addr/status" | grep -q '"done": 2'; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "serve-smoke OK"
 
 check: build vet lint test race

@@ -19,22 +19,36 @@
 //	dynaspam -bench NW -trace out.json        # Chrome trace events (Perfetto)
 //	dynaspam -bench NW -pipeview out.kanata   # Konata-style pipeline view
 //	dynaspam -bench all -cpuprofile cpu.prof  # profile the simulator itself
+//	dynaspam -bench all -serve :8080          # live telemetry during the sweep
+//	dynaspam serve -addr :8080                # long-running sweep server
+//	curl -s localhost:8080/metrics | dynaspam lint-metrics
 //
 // -trace and -pipeview attach a cycle-accurate probe to every simulation
 // and export the recorded events after the sweep; output is deterministic:
 // byte-identical across repeated runs and across -j worker counts. Render
 // a pipeline view in the terminal with cmd/pipeview.
+//
+// -serve exposes the live telemetry plane (/metrics, /status, /events,
+// /healthz, /debug/pprof) for the duration of the sweep; `dynaspam serve`
+// keeps the process up and accepts repeated sweep submissions via
+// POST /sweep. Telemetry is observe-only: simulation outputs are
+// bit-identical with the server on or off.
 package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"dynaspam/internal/core"
 	"dynaspam/internal/energy"
@@ -42,55 +56,100 @@ import (
 	"dynaspam/internal/probe"
 	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
+	"dynaspam/internal/telemetry"
 	"dynaspam/internal/workloads"
 )
 
 func main() {
-	var (
-		benchName   = flag.String("bench", "PF", `benchmark abbreviation, comma-separated list, or "all" (see -list)`)
-		modeName    = flag.String("mode", "accel-spec", "baseline | mapping | accel-nospec | accel-spec")
-		traceLen    = flag.Int("tracelen", 32, "trace length cap in instructions")
-		fabrics     = flag.Int("fabrics", 1, "number of physical fabrics")
-		parallelism = flag.Int("j", 0, "parallel simulations for multi-benchmark sweeps (0 = GOMAXPROCS)")
-		journalPath = flag.String("journal", "", "write a JSON-lines run journal to this file")
-		progress    = flag.Bool("progress", false, "report live sweep progress on stderr")
-		list        = flag.Bool("list", false, "list benchmarks and exit")
-		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
-		pipePath    = flag.String("pipeview", "", "write a Konata-style pipeline view (render with cmd/pipeview)")
-		traceLimit  = flag.Int("trace-limit", 0, "cap recorded events per simulation (0 = unlimited)")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile of the simulator to this file")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run dispatches the subcommands and returns the process exit code. It is
+// the testable entry point: main only binds it to os.Args and os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], stderr)
+		case "lint-metrics":
+			return runLintMetrics(args[1:], stdout, stderr)
+		}
+	}
+	return runSweep(args, stdout, stderr)
+}
+
+// newRunLogger builds the process's structured logger: text records on w,
+// every record carrying a fresh random run-correlation ID so the log
+// stream of one invocation can be filtered out of an aggregated store.
+func newRunLogger(w io.Writer) (*slog.Logger, string) {
+	b := make([]byte, 4)
+	if _, err := rand.Read(b); err != nil {
+		// Fall back to a fixed ID; correlation degrades, logging must not.
+		copy(b, []byte{0, 0, 0, 0})
+	}
+	id := hex.EncodeToString(b)
+	return slog.New(slog.NewTextHandler(w, nil)).With("run_id", id), id
+}
+
+// runSweep is the default mode: run the selected benchmarks once and
+// print their statistics.
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynaspam", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benchName   = fs.String("bench", "PF", `benchmark abbreviation, comma-separated list, or "all" (see -list)`)
+		modeName    = fs.String("mode", "accel-spec", "baseline | mapping | accel-nospec | accel-spec")
+		traceLen    = fs.Int("tracelen", 32, "trace length cap in instructions")
+		fabrics     = fs.Int("fabrics", 1, "number of physical fabrics")
+		parallelism = fs.Int("j", 0, "parallel simulations for multi-benchmark sweeps (0 = GOMAXPROCS)")
+		journalPath = fs.String("journal", "", "write a JSON-lines run journal to this file")
+		progress    = fs.Bool("progress", false, "report live sweep progress on stderr")
+		list        = fs.Bool("list", false, "list benchmarks and exit")
+		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+		pipePath    = fs.String("pipeview", "", "write a Konata-style pipeline view (render with cmd/pipeview)")
+		traceLimit  = fs.Int("trace-limit", 0, "cap recorded events per simulation (0 = unlimited)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile of the simulator to this file")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /status, /events) on this address for the sweep's duration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log, runID := newRunLogger(stderr)
+
+	// Both profile files open before any simulation runs, so a bad path
+	// fails fast instead of discarding a finished sweep's profile.
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Error("cpuprofile open failed", "path", *cpuProfile, "err", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Error("cpuprofile start failed", "path", *cpuProfile, "err", err)
+			f.Close()
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				log.Error("cpuprofile close failed", "path", *cpuProfile, "err", err)
 			}
 		}()
 	}
 	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Error("memprofile open failed", "path", *memProfile, "err", err)
+			return 1
+		}
 		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				log.Error("memprofile write failed", "path", *memProfile, "err", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Error("memprofile close failed", "path", *memProfile, "err", err)
 			}
 		}()
 	}
@@ -100,29 +159,19 @@ func main() {
 		for _, w := range workloads.All() {
 			tb.AddRow(w.Abbrev, w.Name, w.Domain)
 		}
-		fmt.Print(tb.String())
-		return
+		fmt.Fprint(stdout, tb.String())
+		return 0
 	}
 
-	var mode core.Mode
-	switch *modeName {
-	case "baseline":
-		mode = core.ModeBaseline
-	case "mapping":
-		mode = core.ModeMappingOnly
-	case "accel-nospec":
-		mode = core.ModeAccelNoSpec
-	case "accel-spec":
-		mode = core.ModeAccel
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
-		os.Exit(2)
+	mode, ok := parseMode(*modeName)
+	if !ok {
+		fmt.Fprintf(stderr, "unknown mode %q\n", *modeName)
+		return 2
 	}
-
 	ws, err := selectWorkloads(*benchName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	params := core.DefaultParams()
@@ -130,33 +179,61 @@ func main() {
 	params.TraceLen = *traceLen
 	params.NumFabrics = *fabrics
 
-	opts := runner.Options{Parallelism: *parallelism, Name: "dynaspam"}
+	// SIGINT/SIGTERM cancel the sweep; in-flight cells stop at their next
+	// context poll and queued cells are skipped.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	opts := runner.Options{Parallelism: *parallelism, Name: "dynaspam", Log: log}
 	if *progress {
-		opts.Progress = os.Stderr
+		opts.Progress = stderr
 	}
 	if *journalPath != "" {
 		j, err := runner.OpenJournal(*journalPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Error("journal open failed", "path", *journalPath, "err", err)
+			return 1
 		}
 		opts.Journal = j
 		defer func() {
 			if err := j.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+				log.Error("journal close failed", "path", *journalPath, "err", err)
 			}
 		}()
 	}
 
-	// With -trace/-pipeview, each simulation gets its own probe (workers
-	// never share one), pre-allocated in input order so the merged export
-	// is identical at any -j.
+	var tel *telemetry.Server
+	if *serveAddr != "" {
+		tel = telemetry.NewServer(runID, log)
+		if _, err := tel.Start(*serveAddr); err != nil {
+			log.Error("telemetry listen failed", "addr", *serveAddr, "err", err)
+			return 1
+		}
+		opts.Reporter = tel.Reporter()
+		defer func() {
+			shCtx, shCancel := context.WithTimeout(context.Background(), shutdownGrace)
+			defer shCancel()
+			if err := tel.Shutdown(shCtx); err != nil {
+				log.Error("telemetry shutdown failed", "err", err)
+			}
+		}()
+	}
+
+	// With -trace/-pipeview, each simulation gets its own full probe
+	// (workers never share one), pre-allocated in input order so the
+	// merged export is identical at any -j. With only -serve, cells get
+	// metrics-only probes: registry counters and histograms for /metrics,
+	// no event log to bound memory.
 	tracing := *tracePath != "" || *pipePath != ""
 	var probes []*probe.Probe
-	if tracing {
+	if tracing || tel != nil {
 		probes = make([]*probe.Probe, len(ws))
 		for i := range ws {
-			probes[i] = probe.New(*traceLimit)
+			if tracing {
+				probes[i] = probe.New(*traceLimit)
+			} else {
+				probes[i] = probe.NewMetricsOnly()
+			}
 		}
 	}
 
@@ -168,20 +245,24 @@ func main() {
 		jobs = append(jobs, runner.Job[*experiments.RunResult]{
 			Label: fmt.Sprintf("%s/%v", w.Abbrev, mode),
 			Run: func(ctx context.Context) (*experiments.RunResult, error) {
-				if tracing {
-					return experiments.RunProbedCtx(ctx, w, params, probes[i])
+				if probes == nil {
+					return experiments.RunCtx(ctx, w, params)
 				}
-				return experiments.RunCtx(ctx, w, params)
+				res, err := experiments.RunProbedCtx(ctx, w, params, probes[i])
+				if err == nil && tel != nil {
+					// The cell is done mutating its registry; hand the
+					// aggregator an immutable export so /metrics sees the
+					// cell's counters as soon as it finishes.
+					tel.Aggregator().Merge(probes[i].Metrics().Export())
+				}
+				return res, err
 			},
 		})
 	}
-	results, err := runner.Run(context.Background(), opts, jobs)
+	results, err := runner.Run(ctx, opts, jobs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		if opts.Journal != nil {
-			opts.Journal.Close()
-		}
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	if tracing {
@@ -191,23 +272,66 @@ func main() {
 		}
 		if *tracePath != "" {
 			if err := exportFile(*tracePath, runs, probe.WriteChromeTrace); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Error("trace export failed", "path", *tracePath, "err", err)
+				return 1
 			}
 		}
 		if *pipePath != "" {
 			if err := exportFile(*pipePath, runs, probe.WritePipeView); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Error("pipeview export failed", "path", *pipePath, "err", err)
+				return 1
 			}
 		}
 	}
 
 	if len(ws) == 1 {
-		printDetailed(ws[0], mode, results[0])
-		return
+		printDetailed(stdout, ws[0], mode, results[0])
+		return 0
 	}
-	printSummary(mode, results)
+	printSummary(stdout, mode, results)
+	return 0
+}
+
+// parseMode maps the -mode flag value onto a core.Mode.
+func parseMode(name string) (core.Mode, bool) {
+	switch name {
+	case "baseline":
+		return core.ModeBaseline, true
+	case "mapping":
+		return core.ModeMappingOnly, true
+	case "accel-nospec":
+		return core.ModeAccelNoSpec, true
+	case "accel-spec":
+		return core.ModeAccel, true
+	}
+	return 0, false
+}
+
+// runLintMetrics validates Prometheus exposition text from stdin (or a
+// file argument): `curl -s host/metrics | dynaspam lint-metrics`.
+func runLintMetrics(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynaspam lint-metrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	}
+	if err := telemetry.LintExposition(in); err != nil {
+		fmt.Fprintf(stderr, "lint-metrics: %s: %v\n", name, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "ok")
+	return 0
 }
 
 // exportFile writes runs to path with the given exporter.
@@ -241,8 +365,8 @@ func selectWorkloads(spec string) ([]*workloads.Workload, error) {
 }
 
 // printSummary renders one row per benchmark of a multi-benchmark sweep.
-func printSummary(mode core.Mode, results []*experiments.RunResult) {
-	fmt.Printf("%d benchmarks under %v\n\n", len(results), mode)
+func printSummary(out io.Writer, mode core.Mode, results []*experiments.RunResult) {
+	fmt.Fprintf(out, "%d benchmarks under %v\n\n", len(results), mode)
 	tb := stats.NewTable("Bench", "Cycles", "Insts", "IPC", "Fabric", "Mapped", "Offloaded",
 		"InvLat", "InvII", "T$ hit", "C$ hit", "Energy pJ")
 	for _, r := range results {
@@ -254,12 +378,12 @@ func printSummary(mode core.Mode, results []*experiments.RunResult) {
 			stats.Pct(r.TCache.HitRate()), stats.Pct(r.Cfg.HitRate()),
 			fmt.Sprintf("%.0f", r.Energy.Total()))
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(out, tb.String())
 }
 
 // printDetailed renders the full single-benchmark statistics view.
-func printDetailed(w *workloads.Workload, mode core.Mode, res *experiments.RunResult) {
-	fmt.Printf("%s (%s) under %v\n\n", w.Name, w.Abbrev, mode)
+func printDetailed(out io.Writer, w *workloads.Workload, mode core.Mode, res *experiments.RunResult) {
+	fmt.Fprintf(out, "%s (%s) under %v\n\n", w.Name, w.Abbrev, mode)
 	tb := stats.NewTable("Metric", "Value")
 	tb.AddRowf("cycles", fmt.Sprintf("%d", res.Cycles))
 	tb.AddRowf("instructions", fmt.Sprintf("%d", res.Committed))
@@ -280,13 +404,13 @@ func printDetailed(w *workloads.Workload, mode core.Mode, res *experiments.RunRe
 	tb.AddRowf("reconfigurations", fmt.Sprintf("%d", res.Reconfigs))
 	tb.AddRowf("branch mispredicts", fmt.Sprintf("%d", res.CPU.BranchMispredicts))
 	tb.AddRowf("memory violations", fmt.Sprintf("%d", res.CPU.MemViolations))
-	fmt.Print(tb.String())
+	fmt.Fprint(out, tb.String())
 
-	fmt.Printf("\nEnergy breakdown (pJ):\n")
+	fmt.Fprintf(out, "\nEnergy breakdown (pJ):\n")
 	eb := stats.NewTable("Component", "Energy")
 	for c := energy.Component(0); c < energy.NumComponents; c++ {
 		eb.AddRowf(c.String(), res.Energy[c])
 	}
 	eb.AddRowf("TOTAL", res.Energy.Total())
-	fmt.Print(eb.String())
+	fmt.Fprint(out, eb.String())
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynaspam/internal/telemetry"
+)
+
+// runCLI invokes run with captured stdio.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// TestBadCPUProfilePathFailsFast locks the fail-fast contract: a broken
+// -cpuprofile path must exit non-zero through a structured ERROR record
+// before any simulation runs, not after a finished sweep.
+func TestBadCPUProfilePathFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "cpu.prof")
+	code, stdout, stderr := runCLI("-bench", "PF", "-cpuprofile", bad)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "level=ERROR") || !strings.Contains(stderr, "cpuprofile") {
+		t.Errorf("stderr lacks structured cpuprofile error: %s", stderr)
+	}
+	if !strings.Contains(stderr, "run_id=") {
+		t.Errorf("error record lacks run correlation ID: %s", stderr)
+	}
+	if strings.Contains(stderr, "sweep start") || stdout != "" {
+		t.Errorf("simulation ran despite bad profile path\nstdout: %s\nstderr: %s", stdout, stderr)
+	}
+}
+
+// TestBadMemProfilePathFailsFast: the heap profile file must open before
+// the sweep, so a typo'd path cannot discard a long run's profile.
+func TestBadMemProfilePathFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "mem.prof")
+	code, stdout, stderr := runCLI("-bench", "PF", "-memprofile", bad)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "level=ERROR") || !strings.Contains(stderr, "memprofile") {
+		t.Errorf("stderr lacks structured memprofile error: %s", stderr)
+	}
+	if strings.Contains(stderr, "sweep start") || stdout != "" {
+		t.Errorf("simulation ran despite bad profile path")
+	}
+}
+
+func TestProfilesWrittenOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	code, _, stderr := runCLI("-bench", "PF", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestUnknownModeIsUsageError(t *testing.T) {
+	code, _, stderr := runCLI("-bench", "PF", "-mode", "warp")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown mode") {
+		t.Errorf("stderr = %s", stderr)
+	}
+}
+
+// TestSweepWithServeExitsZero runs a real sweep with the telemetry plane
+// attached on an ephemeral port: the run must finish cleanly, print the
+// same stats table, and log the bound address.
+func TestSweepWithServeExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI("-bench", "PF,BP", "-j", "2", "-serve", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "2 benchmarks under accel-spec") {
+		t.Errorf("summary table missing:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "telemetry listening") {
+		t.Errorf("bound address never logged: %s", stderr)
+	}
+}
+
+func TestLintMetricsSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	os.WriteFile(good, []byte("# TYPE m counter\nm 1\n"), 0o644)
+	bad := filepath.Join(dir, "bad.prom")
+	os.WriteFile(bad, []byte("orphan 1\n"), 0o644)
+
+	code, stdout, _ := runCLI("lint-metrics", good)
+	if code != 0 || !strings.Contains(stdout, "ok") {
+		t.Errorf("lint-metrics on valid page = %d %q", code, stdout)
+	}
+	code, _, stderr := runCLI("lint-metrics", bad)
+	if code != 1 || !strings.Contains(stderr, "lint-metrics") {
+		t.Errorf("lint-metrics on invalid page = %d %q", code, stderr)
+	}
+	if code, _, _ := runCLI("lint-metrics", filepath.Join(dir, "missing.prom")); code != 1 {
+		t.Errorf("lint-metrics on missing file = %d, want 1", code)
+	}
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestSweepHandler drives the serve-mode POST /sweep endpoint through the
+// telemetry mux: method and parameter validation, the 409 busy guard, and
+// a real sweep whose results land in /status and the aggregator.
+func TestSweepHandler(t *testing.T) {
+	tel := telemetry.NewServer("test", discardLogger())
+	sw := &sweeper{tel: tel, log: discardLogger(), parallelism: 2}
+	tel.Handle("/sweep", sw)
+	ts := httptest.NewServer(tel.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/sweep"); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sweep = %d, want 405", resp.StatusCode)
+	}
+	if resp, err := http.Post(ts.URL+"/sweep", "", nil); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST without bench = %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Post(ts.URL+"/sweep?bench=PF&mode=warp", "", nil); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST with bad mode = %d, want 400", resp.StatusCode)
+	}
+
+	sw.busy.Store(true)
+	if resp, err := http.Post(ts.URL+"/sweep?bench=PF", "", nil); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusConflict {
+		t.Errorf("POST while busy = %d, want 409", resp.StatusCode)
+	}
+	sw.busy.Store(false)
+
+	resp, err := http.Post(ts.URL+"/sweep?bench=PF,BP", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /sweep = %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"cells": 2`, `"failed": 0`, "PF/accel-spec"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("sweep response missing %q: %s", want, body)
+		}
+	}
+	st := tel.Tracker().Status()
+	if len(st.Sweeps) != 1 || st.Sweeps[0].Done != 2 {
+		t.Errorf("tracker after sweep = %+v", st.Sweeps)
+	}
+	if tel.Aggregator().Cells() != 2 {
+		t.Errorf("aggregator merged %d cells, want 2", tel.Aggregator().Cells())
+	}
+}

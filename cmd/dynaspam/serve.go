@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/probe"
+	"dynaspam/internal/runner"
+	"dynaspam/internal/telemetry"
+)
+
+// shutdownGrace bounds how long graceful shutdown waits for in-flight
+// HTTP requests (and telemetry scrapes) to drain.
+const shutdownGrace = 5 * time.Second
+
+// runServe is the long-running mode: keep the telemetry plane up and
+// accept repeated sweep submissions via POST /sweep until SIGINT/SIGTERM.
+func runServe(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynaspam serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address for the telemetry plane and sweep API")
+		parallelism = fs.Int("j", 0, "parallel simulations per submitted sweep (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log, runID := newRunLogger(stderr)
+
+	tel := telemetry.NewServer(runID, log)
+	sw := &sweeper{tel: tel, log: log, parallelism: *parallelism}
+	tel.Handle("/sweep", sw)
+	if _, err := tel.Start(*addr); err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	<-ctx.Done()
+
+	log.Info("shutting down")
+	shCtx, shCancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer shCancel()
+	if err := tel.Shutdown(shCtx); err != nil {
+		log.Error("shutdown failed", "err", err)
+		return 1
+	}
+	return 0
+}
+
+// sweepResponse is the POST /sweep reply body.
+type sweepResponse struct {
+	Sweep  string   `json:"sweep"`
+	Cells  int      `json:"cells"`
+	Failed int      `json:"failed"`
+	WallMS float64  `json:"wall_ms"`
+	Labels []string `json:"labels"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// sweeper handles POST /sweep: it runs one benchmark sweep synchronously
+// and replies with a summary. Submissions are serialized — a second POST
+// while one is running gets 409 Conflict — so concurrent clients cannot
+// oversubscribe the worker pool; live progress is on /status and /events
+// as usual.
+type sweeper struct {
+	tel         *telemetry.Server
+	log         *slog.Logger
+	parallelism int
+	busy        atomic.Bool
+	seq         atomic.Int64
+}
+
+func (s *sweeper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.busy.CompareAndSwap(false, true) {
+		http.Error(w, "a sweep is already running", http.StatusConflict)
+		return
+	}
+	defer s.busy.Store(false)
+
+	q := r.URL.Query()
+	bench := q.Get("bench")
+	if bench == "" {
+		http.Error(w, "missing bench parameter", http.StatusBadRequest)
+		return
+	}
+	modeName := q.Get("mode")
+	if modeName == "" {
+		modeName = "accel-spec"
+	}
+	mode, ok := parseMode(modeName)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown mode %q", modeName), http.StatusBadRequest)
+		return
+	}
+	ws, err := selectWorkloads(bench)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	params := core.DefaultParams()
+	params.Mode = mode
+	if err := intParam(q.Get("tracelen"), &params.TraceLen); err != nil {
+		http.Error(w, "bad tracelen: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := intParam(q.Get("fabrics"), &params.NumFabrics); err != nil {
+		http.Error(w, "bad fabrics: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	name := fmt.Sprintf("sweep-%d", s.seq.Add(1))
+	jobs := make([]runner.Job[*experiments.RunResult], len(ws))
+	labels := make([]string, len(ws))
+	for i, wl := range ws {
+		i, wl := i, wl
+		pr := probe.NewMetricsOnly()
+		labels[i] = fmt.Sprintf("%s/%v", wl.Abbrev, mode)
+		jobs[i] = runner.Job[*experiments.RunResult]{
+			Label: labels[i],
+			Run: func(ctx context.Context) (*experiments.RunResult, error) {
+				res, err := experiments.RunProbedCtx(ctx, wl, params, pr)
+				if err == nil {
+					s.tel.Aggregator().Merge(pr.Metrics().Export())
+				}
+				return res, err
+			},
+		}
+	}
+
+	start := time.Now()
+	_, runErr := runner.Run(r.Context(), runner.Options{
+		Parallelism: s.parallelism,
+		Name:        name,
+		Reporter:    s.tel.Reporter(),
+		Log:         s.log,
+	}, jobs)
+	wall := time.Since(start)
+
+	resp := sweepResponse{
+		Sweep:  name,
+		Cells:  len(ws),
+		WallMS: float64(wall.Microseconds()) / 1e3,
+		Labels: labels,
+	}
+	for _, sw := range s.tel.Tracker().Status().Sweeps {
+		if sw.Name == name {
+			resp.Failed = sw.Failed
+		}
+	}
+	code := http.StatusOK
+	if runErr != nil {
+		resp.Error = runErr.Error()
+		code = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// intParam parses an optional positive integer query parameter into dst,
+// leaving dst untouched when the parameter is absent.
+func intParam(s string, dst *int) error {
+	if s == "" {
+		return nil
+	}
+	var v int
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return err
+	}
+	if v <= 0 {
+		return fmt.Errorf("%d is not positive", v)
+	}
+	*dst = v
+	return nil
+}

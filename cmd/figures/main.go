@@ -20,8 +20,11 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"dynaspam/internal/area"
@@ -42,20 +45,26 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := runner.Options{Parallelism: *parallelism}
+	// Structured logs with a run-correlation ID, matching cmd/dynaspam, so
+	// a figures run's records can be isolated in an aggregated log store.
+	id := make([]byte, 4)
+	rand.Read(id)
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("run_id", hex.EncodeToString(id))
+
+	opts := runner.Options{Parallelism: *parallelism, Log: log}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
 	if *journalPath != "" {
 		j, err := runner.OpenJournal(*journalPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("journal open failed", "path", *journalPath, "err", err)
 			os.Exit(1)
 		}
 		opts.Journal = j
 		defer func() {
 			if err := j.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+				log.Error("journal close failed", "path", *journalPath, "err", err)
 			}
 		}()
 	}
@@ -93,7 +102,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("figure generation failed", "fig", *fig, "err", err)
 		if opts.Journal != nil {
 			opts.Journal.Close()
 		}

@@ -34,6 +34,14 @@ func Runner(path string) bool {
 	return path == Module+"/internal/runner"
 }
 
+// Telemetry reports whether path is the live telemetry plane, which (like
+// the runner) measures the host process — scrape timestamps, sweep ETAs,
+// GC pauses — never the simulated machine, and is therefore allowlisted
+// for wall-clock reads.
+func Telemetry(path string) bool {
+	return path == Module+"/internal/telemetry"
+}
+
 // Sim reports whether path is one of the measured simulator packages.
 func Sim(path string) bool {
 	for _, s := range simSuffixes {

@@ -9,8 +9,10 @@
 // available, as does all of time's arithmetic on values obtained outside
 // the simulator.
 //
-// The runner's progress/ETA display is allowlisted via scoping: it
-// measures the host sweep, not the simulated machine.
+// The runner's progress/ETA display and the live telemetry plane
+// (internal/telemetry: scrape timing, sweep ETAs, runtime sampling) are
+// allowlisted via scoping: they measure the host process, not the
+// simulated machine.
 package wallclock
 
 import (
@@ -23,10 +25,12 @@ import (
 
 // Analyzer is the wallclock pass.
 var Analyzer = &analysis.Analyzer{
-	Name:  "wallclock",
-	Doc:   "forbid time.Now/unseeded math/rand in simulator packages (results must be pure functions of inputs)",
-	Match: func(path string) bool { return scope.Checked(path) && !scope.Runner(path) },
-	Run:   run,
+	Name: "wallclock",
+	Doc:  "forbid time.Now/unseeded math/rand in simulator packages (results must be pure functions of inputs)",
+	Match: func(path string) bool {
+		return scope.Checked(path) && !scope.Runner(path) && !scope.Telemetry(path)
+	},
+	Run: run,
 }
 
 // clockFuncs are the package time functions that read or schedule against

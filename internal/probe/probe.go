@@ -163,17 +163,21 @@ const (
 	MetricOffloadDenied = "offload_denied"
 	// MetricEventsDropped counts events discarded by the MaxEvents cap.
 	MetricEventsDropped = "events_dropped"
+	// MetricFIFOOcc is the live in-flight invocation gauge: the most recent
+	// FIFO occupancy, for mid-run scraping via the telemetry aggregator.
+	MetricFIFOOcc = "fifo_occupancy"
 )
 
 // Probe records events and metrics for one simulation. The zero value is
 // not used directly; construct with New. A nil *Probe is the disabled
 // tracer: every method is safe to call and does nothing.
 type Probe struct {
-	maxEvents int
-	events    []Event
-	reg       *Registry
-	clock     func() uint64
-	disasm    func(pc int) string
+	maxEvents   int
+	metricsOnly bool
+	events      []Event
+	reg         *Registry
+	clock       func() uint64
+	disasm      func(pc int) string
 }
 
 // New returns an enabled probe. maxEvents caps the event log (0 means
@@ -186,6 +190,18 @@ func New(maxEvents int) *Probe {
 	r.RegisterHistogram(MetricTraceLen, []float64{4, 8, 12, 16, 20, 24, 28, 32, 40, 48})
 	r.RegisterHistogram(MetricStripeOcc, []float64{1, 2, 3, 4, 6, 8, 10, 12})
 	return &Probe{maxEvents: maxEvents, reg: r}
+}
+
+// NewMetricsOnly returns a probe that feeds the metrics registry but keeps
+// no event log: every record is discarded (without counting toward
+// MetricEventsDropped, which tracks cap overflow on a recording probe).
+// This is the shape the live telemetry plane attaches when no trace export
+// was requested — counters, gauges and histograms stay scrapeable without
+// the event stream's memory footprint.
+func NewMetricsOnly() *Probe {
+	p := New(0)
+	p.metricsOnly = true
+	return p
 }
 
 // powersOf2Buckets returns le-bounds lo, 2lo, ..., hi.
@@ -259,6 +275,9 @@ func (p *Probe) label(pc int) string {
 
 // record appends one event, honouring the cap.
 func (p *Probe) record(e Event) {
+	if p.metricsOnly {
+		return
+	}
 	if p.maxEvents > 0 && len(p.events) >= p.maxEvents {
 		p.reg.Counter(MetricEventsDropped, 1)
 		return
@@ -382,11 +401,14 @@ func squashCounterName(kindName string) string {
 	return string(b)
 }
 
-// FIFOOccupancy records the new total of in-flight invocations.
+// FIFOOccupancy records the new total of in-flight invocations, both as an
+// event (for the exporters' counter track) and as the MetricFIFOOcc gauge
+// (for live scraping mid-run).
 func (p *Probe) FIFOOccupancy(cycle uint64, occupancy int) {
 	if p == nil {
 		return
 	}
+	p.reg.Gauge(MetricFIFOOcc, float64(occupancy))
 	p.record(Event{Cycle: cycle, PC: -1, A: int64(occupancy), Kind: EvFIFOOcc})
 }
 

@@ -101,6 +101,27 @@ func TestEventCap(t *testing.T) {
 	}
 }
 
+func TestMetricsOnlyProbe(t *testing.T) {
+	p := NewMetricsOnly()
+	for i := 0; i < 10; i++ {
+		p.Fetch(uint64(i), uint64(i), i)
+	}
+	p.TraceEvalEnd(100, 1, 0, 17, 8, -1)
+	p.FIFOOccupancy(100, 2)
+	if len(p.Events()) != 0 {
+		t.Fatalf("metrics-only probe kept %d events, want 0", len(p.Events()))
+	}
+	if p.Dropped() != 0 {
+		t.Fatalf("metrics-only probe counted %d dropped events, want 0 (discard is not overflow)", p.Dropped())
+	}
+	if h := p.Metrics().Histogram(MetricInvocLatency); h == nil || h.Count != 1 || h.Sum != 17 {
+		t.Fatalf("metrics-only probe lost histogram samples: %+v", h)
+	}
+	if got := p.Metrics().GaugeValue(MetricFIFOOcc); got != 2 {
+		t.Fatalf("fifo occupancy gauge = %v, want 2", got)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if EvFetch.String() != "fetch" || EvFabricViol.String() != "fabric-viol" {
 		t.Fatalf("Kind.String broken: %q %q", EvFetch, EvFabricViol)

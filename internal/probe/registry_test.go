@@ -72,8 +72,96 @@ func TestNilRegistry(t *testing.T) {
 	var r *Registry
 	r.Counter("x", 1)
 	r.Observe("x", 1)
+	r.Gauge("x", 1)
 	if r.CounterValue("x") != 0 || r.Snapshot() != nil || r.CounterNames() != nil || r.HistogramNames() != nil || r.Histogram("x") != nil {
 		t.Fatal("nil registry must be inert")
+	}
+	if r.GaugeValue("x") != 0 || r.GaugeNames() != nil {
+		t.Fatal("nil registry gauges must be inert")
+	}
+	ex := r.Export()
+	if len(ex.Counters) != 0 || len(ex.Gauges) != 0 || len(ex.Hists) != 0 {
+		t.Fatalf("nil registry Export = %+v, want empty maps", ex)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	if got := r.GaugeValue("missing"); got != 0 {
+		t.Fatalf("missing gauge = %v, want 0", got)
+	}
+	r.Gauge("occ", 3)
+	r.Gauge("occ", 1) // last write wins: gauges are levels, not sums
+	r.Gauge("heap", 42)
+	if got := r.GaugeValue("occ"); got != 1 {
+		t.Fatalf("gauge occ = %v, want 1", got)
+	}
+	if names := r.GaugeNames(); len(names) != 2 || names[0] != "heap" || names[1] != "occ" {
+		t.Fatalf("GaugeNames = %v, want [heap occ]", names)
+	}
+	snap := r.Snapshot()
+	if snap["occ"] != 1 || snap["heap"] != 42 {
+		t.Fatalf("snapshot gauges = occ:%v heap:%v, want 1, 42", snap["occ"], snap["heap"])
+	}
+}
+
+func TestMetricNameValidation(t *testing.T) {
+	valid := []string{"a", "A_b:c", "_x", ":y", "squash_branch_exit", "x9"}
+	for _, name := range valid {
+		if !ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{"", "9x", "a-b", "a.b", "a b", `a"b`, "héllo", "a\n"}
+	for _, name := range invalid {
+		if ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = true, want false", name)
+		}
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: creating metric with invalid name did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	mustPanic("Counter", func() { r.Counter("bad-name", 1) })
+	mustPanic("Gauge", func() { r.Gauge("9bad", 1) })
+	mustPanic("RegisterHistogram", func() { r.RegisterHistogram("bad name", []float64{1}) })
+	// Incrementing an existing counter must not re-validate or panic.
+	r.Counter("good", 1)
+	r.Counter("good", 1)
+	if r.CounterValue("good") != 2 {
+		t.Fatal("valid counter lost increments")
+	}
+}
+
+func TestExportIsDeepCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", 5)
+	r.Gauge("g", 7)
+	r.RegisterHistogram("h", []float64{1, 2})
+	r.Observe("h", 1)
+	ex := r.Export()
+
+	// Mutating the registry after export must not change the export.
+	r.Counter("c", 10)
+	r.Gauge("g", 0)
+	r.Observe("h", 2)
+	if ex.Counters["c"] != 5 || ex.Gauges["g"] != 7 {
+		t.Fatalf("export scalars mutated: %+v", ex)
+	}
+	h := ex.Hists["h"]
+	if h.Count != 1 || h.Sum != 1 || h.BucketCounts[0] != 1 || h.BucketCounts[1] != 0 {
+		t.Fatalf("export histogram mutated: %+v", h)
+	}
+	// And mutating the export must not touch the registry.
+	h.BucketCounts[0] = 99
+	if r.Histogram("h").BucketCounts[0] != 1 {
+		t.Fatal("export shares bucket storage with the registry")
 	}
 }
 

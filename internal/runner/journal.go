@@ -44,13 +44,26 @@ type Entry struct {
 // safe for concurrent use by the runner's workers; each Entry becomes
 // exactly one line. The zero value is not usable; construct with NewJournal
 // or OpenJournal.
+//
+// Writes are buffered at line granularity: entries accumulate in an
+// internal buffer and reach the underlying writer only in whole-line
+// chunks (on Flush, on Close, and automatically once the buffer passes
+// journalFlushBytes). The underlying writer therefore never observes a
+// partial JSON line, so a concurrent tailer — the telemetry plane's SSE
+// endpoint, `tail -f` — can parse the file line-by-line without racing a
+// torn write. runner.Run flushes at the end of every sweep.
 type Journal struct {
 	mu    sync.Mutex
 	w     io.Writer
+	buf   []byte    // marshaled whole lines not yet pushed to w
 	owned io.Closer // non-nil when the journal opened the file itself
 	err   error     // first write error, reported by Close
 	lines int
 }
+
+// journalFlushBytes is the buffered-line threshold beyond which Write
+// flushes automatically.
+const journalFlushBytes = 8 << 10
 
 // NewJournal returns a journal writing to w. The caller retains ownership
 // of w; Close does not close it.
@@ -66,9 +79,11 @@ func OpenJournal(path string) (*Journal, error) {
 	return &Journal{w: f, owned: f}, nil
 }
 
-// Write appends one entry as a JSON line. Marshal or write failures are
-// sticky: the first one is remembered and returned from every subsequent
-// Write and from Close, so a sweep is not aborted by observability I/O.
+// Write appends one entry as a JSON line to the journal's buffer, flushing
+// automatically at whole-line boundaries once journalFlushBytes accumulate.
+// Marshal or write failures are sticky: the first one is remembered and
+// returned from every subsequent Write and from Close, so a sweep is not
+// aborted by observability I/O.
 func (j *Journal) Write(e Entry) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -80,12 +95,37 @@ func (j *Journal) Write(e Entry) error {
 		j.err = fmt.Errorf("runner: journal marshal: %w", err)
 		return j.err
 	}
-	b = append(b, '\n')
-	if _, err := j.w.Write(b); err != nil {
+	j.buf = append(j.buf, b...)
+	j.buf = append(j.buf, '\n')
+	j.lines++
+	if len(j.buf) >= journalFlushBytes {
+		return j.flushLocked()
+	}
+	return nil
+}
+
+// Flush pushes every buffered line to the underlying writer. Because the
+// buffer only ever holds whole lines, the writer receives them in a single
+// Write call and never sees a torn JSON object.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+// flushLocked drains the buffer; the caller holds mu.
+func (j *Journal) flushLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if len(j.buf) == 0 {
+		return nil
+	}
+	if _, err := j.w.Write(j.buf); err != nil {
 		j.err = fmt.Errorf("runner: journal write: %w", err)
 		return j.err
 	}
-	j.lines++
+	j.buf = j.buf[:0]
 	return nil
 }
 
@@ -96,11 +136,13 @@ func (j *Journal) Lines() int {
 	return j.lines
 }
 
-// Close releases the underlying file if the journal owns one and returns
-// the first error encountered over the journal's lifetime.
+// Close flushes buffered lines, releases the underlying file if the
+// journal owns one, and returns the first error encountered over the
+// journal's lifetime.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.flushLocked()
 	if j.owned != nil {
 		if err := j.owned.Close(); err != nil && j.err == nil {
 			j.err = err

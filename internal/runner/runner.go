@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -62,9 +63,34 @@ type Options struct {
 	// Progress, when non-nil, receives live "N/M runs done, ETA" updates
 	// (typically os.Stderr). Updates are throttled to one per completion.
 	Progress io.Writer
+	// Reporter, when non-nil, observes the sweep live: it receives the
+	// same Entry stream as the Journal (the runner tees them) plus
+	// sweep-lifecycle calls, feeding the telemetry plane's /status and
+	// /events endpoints.
+	Reporter Reporter
+	// Log, when non-nil, receives structured sweep lifecycle and failure
+	// records. Callers attach correlation attributes (run_id) to the
+	// logger itself, so every record the runner emits carries them.
+	Log *slog.Logger
 	// Name labels the sweep in journal entries and progress lines,
 	// e.g. "fig8".
 	Name string
+}
+
+// Reporter is a live sweep observer: the in-memory counterpart of the
+// JSON-lines Journal. The runner tees every finished run's Entry to both,
+// and brackets them with sweep lifecycle calls. Implementations must be
+// safe for concurrent use — RunDone is called from worker goroutines in
+// completion order, which is nondeterministic; anything that needs
+// deterministic order must sort by Entry.Seq, exactly as journal consumers
+// do.
+type Reporter interface {
+	// SweepStart announces a sweep of total cells named name.
+	SweepStart(name string, total int)
+	// RunDone delivers one finished (or skipped) run's journal entry.
+	RunDone(e Entry)
+	// SweepEnd announces that every cell of the named sweep has finished.
+	SweepEnd(name string)
 }
 
 // workers returns the effective worker count.
@@ -121,6 +147,13 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]R, error) {
 		workers = len(jobs)
 	}
 
+	if opts.Reporter != nil {
+		opts.Reporter.SweepStart(opts.Name, len(jobs))
+	}
+	if opts.Log != nil {
+		opts.Log.Info("sweep start", "sweep", opts.Name, "cells", len(jobs), "workers", workers)
+	}
+
 	// Feed indices, not jobs, so results land positionally. With one
 	// worker the channel drains in input order, reproducing the serial
 	// loop exactly.
@@ -147,15 +180,31 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]R, error) {
 				if err != nil {
 					cancel()
 				}
-				journalRun(opts, i, jobs[i].Label, res, wall, err)
+				recordRun(opts, i, jobs[i].Label, res, wall, err)
 				prog.done()
 			}
 		}()
 	}
 	wg.Wait()
 	prog.finish()
+	if opts.Journal != nil {
+		// Push buffered lines out at the sweep boundary so tailers see the
+		// complete sweep even if the caller defers Close past further work.
+		opts.Journal.Flush()
+	}
+	if opts.Reporter != nil {
+		opts.Reporter.SweepEnd(opts.Name)
+	}
 
-	return out, firstError(errs, ctx)
+	err := firstError(errs, ctx)
+	if opts.Log != nil {
+		if err != nil {
+			opts.Log.Error("sweep failed", "sweep", opts.Name, "cells", len(jobs), "err", err)
+		} else {
+			opts.Log.Info("sweep done", "sweep", opts.Name, "cells", len(jobs))
+		}
+	}
+	return out, err
 }
 
 // runOne executes one job, timing it and converting panics to errors.
@@ -174,10 +223,12 @@ func runOne[R any](ctx context.Context, j Job[R]) (res R, wall time.Duration, er
 	return res, 0, err // wall is set by the deferred timer
 }
 
-// journalRun writes one journal entry for a finished job, if journaling is
-// enabled.
-func journalRun[R any](opts Options, seq int, label string, res R, wall time.Duration, err error) {
-	if opts.Journal == nil {
+// recordRun builds one journal entry for a finished job and tees it to
+// every enabled sink: the JSON-lines journal, the live Reporter, and (for
+// failures) the structured log. With no sink configured it does nothing,
+// keeping the hot path free of Entry construction.
+func recordRun[R any](opts Options, seq int, label string, res R, wall time.Duration, err error) {
+	if opts.Journal == nil && opts.Reporter == nil && opts.Log == nil {
 		return
 	}
 	e := Entry{
@@ -200,7 +251,16 @@ func journalRun[R any](opts Options, seq int, label string, res R, wall time.Dur
 	default:
 		e.Status, e.Error = StatusError, err.Error()
 	}
-	opts.Journal.Write(e)
+	if opts.Journal != nil {
+		opts.Journal.Write(e)
+	}
+	if opts.Reporter != nil {
+		opts.Reporter.RunDone(e)
+	}
+	if opts.Log != nil && e.Status != StatusOK && e.Status != StatusSkipped {
+		opts.Log.Error("run failed", "sweep", e.Sweep, "seq", e.Seq,
+			"label", e.Label, "status", e.Status, "err", e.Error)
+	}
 }
 
 // firstError picks the error Run reports: the lowest-indexed failure that is
@@ -224,22 +284,33 @@ func firstError(errs []error, ctx context.Context) error {
 }
 
 // progress emits "N/M runs done, ETA" lines to a writer as jobs complete.
+// The clock is injected (now) so the ETA arithmetic is testable with a
+// deterministic time source; production use reads the wall clock, which is
+// allowlisted in this package (the ETA measures the host sweep, not the
+// simulated machine).
 type progress struct {
 	mu    sync.Mutex
 	w     io.Writer
 	name  string
 	total int
 	count int
+	now   func() time.Time
 	start time.Time
 	last  time.Time
 }
 
 // newProgress returns a progress reporter; a nil writer disables it.
 func newProgress(w io.Writer, name string, total int) *progress {
+	return newProgressAt(w, name, total, time.Now)
+}
+
+// newProgressAt is newProgress with an explicit clock, for deterministic
+// tests.
+func newProgressAt(w io.Writer, name string, total int, now func() time.Time) *progress {
 	if name == "" {
 		name = "sweep"
 	}
-	return &progress{w: w, name: name, total: total, start: time.Now()}
+	return &progress{w: w, name: name, total: total, now: now, start: now()}
 }
 
 // done records one completed run and emits an update. Updates are throttled
@@ -252,7 +323,7 @@ func (p *progress) done() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.count++
-	now := time.Now()
+	now := p.now()
 	if p.count < p.total && now.Sub(p.last) < 50*time.Millisecond {
 		return
 	}
@@ -274,5 +345,5 @@ func (p *progress) finish() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fmt.Fprintf(p.w, "\r%s: %d/%d runs done in %s      \n",
-		p.name, p.count, p.total, time.Since(p.start).Round(time.Millisecond))
+		p.name, p.count, p.total, p.now().Sub(p.start).Round(time.Millisecond))
 }

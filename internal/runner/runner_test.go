@@ -171,10 +171,22 @@ func (m metricResult) JournalMetrics() map[string]float64 {
 func TestJournalOneValidJSONLinePerRun(t *testing.T) {
 	var buf bytes.Buffer
 	j := NewJournal(&buf)
+	// w/c fails only after w/a and w/b have finished; an early failure
+	// cancels the sweep and whether pending cells journal as "skipped"
+	// or never get dequeued depends on scheduling.
+	done := make(chan struct{}, 2)
 	jobs := []Job[metricResult]{
-		{Label: "w/a", Run: func(ctx context.Context) (metricResult, error) { return metricResult{100}, nil }},
-		{Label: "w/b", Run: func(ctx context.Context) (metricResult, error) { return metricResult{200}, nil }},
+		{Label: "w/a", Run: func(ctx context.Context) (metricResult, error) {
+			done <- struct{}{}
+			return metricResult{100}, nil
+		}},
+		{Label: "w/b", Run: func(ctx context.Context) (metricResult, error) {
+			done <- struct{}{}
+			return metricResult{200}, nil
+		}},
 		{Label: "w/c", Run: func(ctx context.Context) (metricResult, error) {
+			<-done
+			<-done
 			return metricResult{}, errors.New("golden mismatch")
 		}},
 	}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"dynaspam/internal/probe"
+)
+
+// exportFrom builds a probe export by driving a real registry, so merge
+// tests exercise the same shapes workers hand the aggregator.
+func exportFrom(fill func(r *probe.Registry)) probe.Export {
+	r := probe.NewRegistry()
+	fill(r)
+	return r.Export()
+}
+
+func TestAggregatorMergeSemantics(t *testing.T) {
+	a := NewAggregator()
+	a.Merge(exportFrom(func(r *probe.Registry) {
+		r.Counter("squash_total", 3)
+		r.Gauge("fifo_occupancy", 5)
+		r.RegisterHistogram("lat", []float64{1, 2})
+		r.Observe("lat", 1)
+		r.Observe("lat", 100) // overflow: Count/Sum only
+	}))
+	a.Merge(exportFrom(func(r *probe.Registry) {
+		r.Counter("squash_total", 4)
+		r.Gauge("fifo_occupancy", 2)
+		r.RegisterHistogram("lat", []float64{1, 2})
+		r.Observe("lat", 2)
+	}))
+
+	ex := a.Export()
+	if got := ex.Counters["squash_total"]; got != 7 {
+		t.Errorf("counters sum: squash_total = %v, want 7", got)
+	}
+	if got := ex.Gauges["fifo_occupancy"]; got != 2 {
+		t.Errorf("gauges last-wins: fifo_occupancy = %v, want 2", got)
+	}
+	h, ok := ex.Hists["lat"]
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if h.Count != 3 || h.Sum != 103 {
+		t.Errorf("hist count/sum = %d/%v, want 3/103", h.Count, h.Sum)
+	}
+	if h.BucketCounts[0] != 1 || h.BucketCounts[1] != 1 {
+		t.Errorf("hist buckets = %v, want [1 1]", h.BucketCounts)
+	}
+	if a.Cells() != 2 {
+		t.Errorf("Cells = %d, want 2", a.Cells())
+	}
+	if a.BoundsMismatches() != 0 {
+		t.Errorf("BoundsMismatches = %d, want 0", a.BoundsMismatches())
+	}
+}
+
+func TestAggregatorBoundsMismatch(t *testing.T) {
+	a := NewAggregator()
+	a.Merge(exportFrom(func(r *probe.Registry) {
+		r.RegisterHistogram("lat", []float64{1, 2})
+		r.Observe("lat", 1)
+	}))
+	a.Merge(exportFrom(func(r *probe.Registry) {
+		r.RegisterHistogram("lat", []float64{1, 2, 4})
+		r.Observe("lat", 3)
+	}))
+	if a.BoundsMismatches() != 1 {
+		t.Fatalf("BoundsMismatches = %d, want 1", a.BoundsMismatches())
+	}
+	// Count/Sum still merge; the first shape's buckets survive untouched.
+	h := a.Export().Hists["lat"]
+	if h.Count != 2 || h.Sum != 4 {
+		t.Errorf("mismatched merge count/sum = %d/%v, want 2/4", h.Count, h.Sum)
+	}
+	if len(h.Bounds) != 2 || h.BucketCounts[0] != 1 {
+		t.Errorf("mismatched merge kept wrong shape: bounds=%v buckets=%v", h.Bounds, h.BucketCounts)
+	}
+}
+
+func TestAggregatorExportIsDeepCopy(t *testing.T) {
+	a := NewAggregator()
+	a.Merge(exportFrom(func(r *probe.Registry) {
+		r.Counter("c", 1)
+		r.RegisterHistogram("h", []float64{1})
+		r.Observe("h", 1)
+	}))
+	ex := a.Export()
+	ex.Counters["c"] = 99
+	ex.Hists["h"].BucketCounts[0] = 99
+	fresh := a.Export()
+	if fresh.Counters["c"] != 1 || fresh.Hists["h"].BucketCounts[0] != 1 {
+		t.Fatal("Export shares storage with the aggregator")
+	}
+}
+
+// TestAggregatorConcurrentMerge exercises the worker hand-off path under
+// the race detector: N goroutines merging while another exports.
+func TestAggregatorConcurrentMerge(t *testing.T) {
+	a := NewAggregator()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				a.Merge(exportFrom(func(r *probe.Registry) {
+					r.Counter("n", 1)
+					r.RegisterHistogram("h", []float64{1, 2})
+					r.Observe("h", 1)
+				}))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = a.Export()
+		}
+	}()
+	wg.Wait()
+	<-done
+	ex := a.Export()
+	if ex.Counters["n"] != 400 {
+		t.Errorf("counter n = %v after concurrent merges, want 400", ex.Counters["n"])
+	}
+	if h := ex.Hists["h"]; h.Count != 400 {
+		t.Errorf("hist count = %d, want 400", h.Count)
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSample is one point-in-time reading of the Go runtime.
+type runtimeSample struct {
+	Goroutines   int
+	HeapAlloc    uint64
+	HeapObjects  uint64
+	GCCycles     uint32
+	GCPauseTotal time.Duration
+}
+
+// sampler reads runtime statistics on its own collector loop so /metrics
+// scrapes never pay for runtime.ReadMemStats (which stops the world) on
+// the request path, and so the numbers stay fresh even with no scraper
+// attached. It samples the host process only — never the simulated
+// machine — which is why this package is allowlisted for wall-clock use.
+type sampler struct {
+	mu       sync.Mutex
+	cur      runtimeSample
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newSampler takes an initial sample and starts the collector loop with
+// the given period.
+func newSampler(period time.Duration) *sampler {
+	s := &sampler{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.collect()
+	go s.loop(period)
+	return s
+}
+
+// loop re-samples every period until Stop.
+func (s *sampler) loop(period time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.collect()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// collect takes one sample.
+func (s *sampler) collect() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	sample := runtimeSample{
+		Goroutines:   runtime.NumGoroutine(),
+		HeapAlloc:    m.HeapAlloc,
+		HeapObjects:  m.HeapObjects,
+		GCCycles:     m.NumGC,
+		GCPauseTotal: time.Duration(m.PauseTotalNs),
+	}
+	s.mu.Lock()
+	s.cur = sample
+	s.mu.Unlock()
+}
+
+// Sample returns the latest reading.
+func (s *sampler) Sample() runtimeSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Stop terminates the collector loop and waits for it to exit. Safe to
+// call more than once.
+func (s *sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

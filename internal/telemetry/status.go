@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dynaspam/internal/runner"
+)
+
+// eventHistoryCap bounds the Tracker's replay buffer. A full figure sweep
+// is tens of cells, so 8192 events keeps every run of a long serve-mode
+// session; beyond that the oldest events age out and late SSE subscribers
+// simply start from what remains.
+const eventHistoryCap = 8192
+
+// event is one /events item: a journal entry or a sweep lifecycle marker,
+// pre-serialized so every subscriber writes identical bytes.
+type event struct {
+	id   uint64
+	kind string // "run", "sweep_start", "sweep_end"
+	data []byte // JSON payload
+}
+
+// CellStatus is one cell's outcome in a /status response, in sweep input
+// order (index == runner Entry.Seq).
+type CellStatus struct {
+	Label  string  `json:"label"`
+	Status string  `json:"status,omitempty"` // empty while still running
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// SweepStatus is one sweep's live progress in a /status response.
+type SweepStatus struct {
+	Name   string `json:"name"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	Active bool   `json:"active"`
+	// ElapsedMS counts from SweepStart to now (or to SweepEnd once done).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// EtaMS extrapolates the mean finished-cell pace over the remaining
+	// cells; 0 when unknown (nothing finished yet) or the sweep is over.
+	EtaMS float64      `json:"eta_ms"`
+	Cells []CellStatus `json:"cells"`
+}
+
+// Status is the /status response body.
+type Status struct {
+	RunID  string        `json:"run_id"`
+	Sweeps []SweepStatus `json:"sweeps"`
+}
+
+// sweepState is the Tracker's mutable record of one sweep.
+type sweepState struct {
+	name   string
+	total  int
+	done   int
+	failed int
+	start  time.Time
+	end    time.Time // zero while active
+	cells  []CellStatus
+}
+
+// Tracker is the live sweep observer behind /status and /events. It
+// implements runner.Reporter: the runner tees every finished run's Entry
+// here alongside the JSON-lines journal. All methods are safe for
+// concurrent use; RunDone arrives from worker goroutines in completion
+// order, and per-cell state is stored at Entry.Seq so /status renders
+// input order regardless.
+type Tracker struct {
+	mu     sync.Mutex
+	runID  string
+	now    func() time.Time
+	sweeps []*sweepState
+
+	events  []event
+	nextID  uint64
+	dropped uint64 // events aged out of the replay buffer
+	subs    []chan struct{}
+}
+
+// NewTracker returns a tracker labeling /status with runID.
+func NewTracker(runID string) *Tracker {
+	return newTrackerAt(runID, time.Now)
+}
+
+// newTrackerAt is NewTracker with an injected clock for deterministic
+// ETA tests.
+func newTrackerAt(runID string, now func() time.Time) *Tracker {
+	return &Tracker{runID: runID, now: now}
+}
+
+// SweepStart implements runner.Reporter.
+func (t *Tracker) SweepStart(name string, total int) {
+	t.mu.Lock()
+	t.sweeps = append(t.sweeps, &sweepState{
+		name:  name,
+		total: total,
+		start: t.now(),
+		cells: make([]CellStatus, total),
+	})
+	t.appendEventLocked("sweep_start", mustJSON(map[string]any{"sweep": name, "total": total}))
+	t.mu.Unlock()
+	t.wake()
+}
+
+// RunDone implements runner.Reporter.
+func (t *Tracker) RunDone(e runner.Entry) {
+	t.mu.Lock()
+	if s := t.findLocked(e.Sweep); s != nil {
+		s.done++
+		if e.Status == runner.StatusError || e.Status == runner.StatusPanic {
+			s.failed++
+		}
+		if e.Seq >= 0 && e.Seq < len(s.cells) {
+			s.cells[e.Seq] = CellStatus{Label: e.Label, Status: e.Status, WallMS: e.WallMS}
+		}
+	}
+	t.appendEventLocked("run", mustJSON(e))
+	t.mu.Unlock()
+	t.wake()
+}
+
+// SweepEnd implements runner.Reporter.
+func (t *Tracker) SweepEnd(name string) {
+	t.mu.Lock()
+	if s := t.findLocked(name); s != nil {
+		s.end = t.now()
+	}
+	t.appendEventLocked("sweep_end", mustJSON(map[string]any{"sweep": name}))
+	t.mu.Unlock()
+	t.wake()
+}
+
+// findLocked returns the most recent sweep with the given name (serve
+// mode can run the same sweep repeatedly; the latest is the live one).
+// The caller holds mu.
+func (t *Tracker) findLocked(name string) *sweepState {
+	for i := len(t.sweeps) - 1; i >= 0; i-- {
+		if t.sweeps[i].name == name {
+			return t.sweeps[i]
+		}
+	}
+	return nil
+}
+
+// appendEventLocked stores one event in the replay buffer; the caller
+// holds mu and must call wake after unlocking.
+func (t *Tracker) appendEventLocked(kind string, data []byte) {
+	t.nextID++
+	t.events = append(t.events, event{id: t.nextID, kind: kind, data: data})
+	if len(t.events) > eventHistoryCap {
+		drop := len(t.events) - eventHistoryCap
+		t.events = append(t.events[:0:0], t.events[drop:]...)
+		t.dropped += uint64(drop)
+	}
+}
+
+// wake nudges every /events subscriber. Each subscriber channel has one
+// buffered slot used as a wake flag, so a slow subscriber never blocks a
+// sweep worker.
+func (t *Tracker) wake() {
+	t.mu.Lock()
+	subs := append([]chan struct{}(nil), t.subs...)
+	t.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers an SSE subscriber and returns its wake channel.
+func (t *Tracker) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	t.mu.Lock()
+	t.subs = append(t.subs, ch)
+	t.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes a wake channel registered by subscribe.
+func (t *Tracker) unsubscribe(ch chan struct{}) {
+	t.mu.Lock()
+	for i, c := range t.subs {
+		if c == ch {
+			t.subs = append(t.subs[:i], t.subs[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// eventsSince returns the buffered events with id > after.
+func (t *Tracker) eventsSince(after uint64) []event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Events are in ascending id order; find the first id > after.
+	lo, hi := 0, len(t.events)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.events[mid].id <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return append([]event(nil), t.events[lo:]...)
+}
+
+// Status snapshots every sweep's progress.
+func (t *Tracker) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	st := Status{RunID: t.runID, Sweeps: make([]SweepStatus, 0, len(t.sweeps))}
+	for _, s := range t.sweeps {
+		ss := SweepStatus{
+			Name:   s.name,
+			Total:  s.total,
+			Done:   s.done,
+			Failed: s.failed,
+			Active: s.end.IsZero(),
+			Cells:  append([]CellStatus(nil), s.cells...),
+		}
+		end := s.end
+		if ss.Active {
+			end = now
+		}
+		elapsed := end.Sub(s.start)
+		ss.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+		if ss.Active && s.done > 0 && s.done < s.total {
+			eta := time.Duration(float64(elapsed) / float64(s.done) * float64(s.total-s.done))
+			ss.EtaMS = float64(eta.Microseconds()) / 1e3
+		}
+		st.Sweeps = append(st.Sweeps, ss)
+	}
+	return st
+}
+
+// ServeStatus handles GET /status.
+func (t *Tracker) ServeStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(t.Status())
+}
+
+// ServeEvents handles GET /events as a Server-Sent Events stream: it
+// replays the buffered history (honouring Last-Event-ID on reconnect) and
+// then tails live events until the client disconnects. Every event frame
+// carries an id (monotonic), an event name (run, sweep_start, sweep_end)
+// and one JSON data line — the run events are exactly the journal's
+// entries, so a browser EventSource and `tail -f journal.jsonl` see the
+// same records.
+func (t *Tracker) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var last uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			last = n
+		}
+	}
+
+	wakeCh := t.subscribe()
+	defer t.unsubscribe(wakeCh)
+	ctx := r.Context()
+	for {
+		evs := t.eventsSince(last)
+		for _, ev := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.kind, ev.data)
+			last = ev.id
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-wakeCh:
+		}
+	}
+}
+
+// mustJSON marshals a value that cannot fail (journal entries and flat
+// maps of strings/ints).
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"marshal_error":` + strconv.Quote(err.Error()) + `}`)
+	}
+	return b
+}
