@@ -20,7 +20,7 @@
 //	dynaspam -bench NW -pipeview out.kanata   # Konata-style pipeline view
 //	dynaspam -bench all -cpuprofile cpu.prof  # profile the simulator itself
 //	dynaspam -bench all -serve :8080          # live telemetry during the sweep
-//	dynaspam serve -addr :8080                # long-running sweep server
+//	dynaspam serve -addr :8080 -state dir     # multi-tenant sweep job server
 //	curl -s localhost:8080/metrics | dynaspam lint-metrics
 //
 // -trace and -pipeview attach a cycle-accurate probe to every simulation
@@ -29,10 +29,14 @@
 // a pipeline view in the terminal with cmd/pipeview.
 //
 // -serve exposes the live telemetry plane (/metrics, /status, /events,
-// /healthz, /debug/pprof) for the duration of the sweep; `dynaspam serve`
-// keeps the process up and accepts repeated sweep submissions via
-// POST /sweep. Telemetry is observe-only: simulation outputs are
-// bit-identical with the server on or off.
+// /healthz, /debug/pprof) for the duration of the sweep. `dynaspam serve`
+// keeps the process up as a multi-tenant job server: sweeps are submitted
+// as jobs (POST /jobs), queue FIFO, run -max-jobs at a time, and — with a
+// -state directory — survive crashes by resuming at their first
+// unfinished cell; identical resubmissions are served from a result
+// cache. POST /sweep remains as a deprecated synchronous shim. See
+// OPERATIONS.md for the full API. Telemetry is observe-only: simulation
+// outputs are bit-identical with the server on or off.
 package main
 
 import (
@@ -53,6 +57,7 @@ import (
 	"dynaspam/internal/core"
 	"dynaspam/internal/energy"
 	"dynaspam/internal/experiments"
+	"dynaspam/internal/jobs"
 	"dynaspam/internal/probe"
 	"dynaspam/internal/runner"
 	"dynaspam/internal/stats"
@@ -292,19 +297,11 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseMode maps the -mode flag value onto a core.Mode.
+// parseMode maps the -mode flag value onto a core.Mode. The name set is
+// shared with the jobs API's Spec, so the CLI and HTTP surfaces can never
+// diverge.
 func parseMode(name string) (core.Mode, bool) {
-	switch name {
-	case "baseline":
-		return core.ModeBaseline, true
-	case "mapping":
-		return core.ModeMappingOnly, true
-	case "accel-nospec":
-		return core.ModeAccelNoSpec, true
-	case "accel-spec":
-		return core.ModeAccel, true
-	}
-	return 0, false
+	return jobs.ParseMode(name)
 }
 
 // runLintMetrics validates Prometheus exposition text from stdin (or a

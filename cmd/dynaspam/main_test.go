@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"log/slog"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"dynaspam/internal/jobs"
 	"dynaspam/internal/telemetry"
 )
 
@@ -126,13 +128,26 @@ func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
-// TestSweepHandler drives the serve-mode POST /sweep endpoint through the
-// telemetry mux: method and parameter validation, the 409 busy guard, and
-// a real sweep whose results land in /status and the aggregator.
+// TestSweepHandler drives the deprecated POST /sweep shim through the
+// telemetry mux: method and parameter validation, the legacy response
+// shape, and results landing in /status and the aggregator via the jobs
+// plane. Unlike the old single-slot server there is no 409 busy guard —
+// submissions queue.
 func TestSweepHandler(t *testing.T) {
 	tel := telemetry.NewServer("test", discardLogger())
-	sw := &sweeper{tel: tel, log: discardLogger(), parallelism: 2}
-	tel.Handle("/sweep", sw)
+	defer tel.Shutdown(context.Background())
+	plane, err := jobs.New(jobs.Config{
+		Parallelism: 2,
+		Aggregator:  tel.Aggregator(),
+		Tracker:     tel.Tracker(),
+		Log:         discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Shutdown(context.Background())
+	plane.Mount(tel)
+	tel.Handle("POST /sweep", &sweepShim{plane: plane, log: discardLogger()})
 	ts := httptest.NewServer(tel.Handler())
 	defer ts.Close()
 
@@ -152,14 +167,6 @@ func TestSweepHandler(t *testing.T) {
 		t.Errorf("POST with bad mode = %d, want 400", resp.StatusCode)
 	}
 
-	sw.busy.Store(true)
-	if resp, err := http.Post(ts.URL+"/sweep?bench=PF", "", nil); err != nil {
-		t.Fatal(err)
-	} else if resp.StatusCode != http.StatusConflict {
-		t.Errorf("POST while busy = %d, want 409", resp.StatusCode)
-	}
-	sw.busy.Store(false)
-
 	resp, err := http.Post(ts.URL+"/sweep?bench=PF,BP", "", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +175,9 @@ func TestSweepHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /sweep = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Errorf("shim response lacks Deprecation header")
 	}
 	for _, want := range []string{`"cells": 2`, `"failed": 0`, "PF/accel-spec"} {
 		if !strings.Contains(string(body), want) {
@@ -180,5 +190,16 @@ func TestSweepHandler(t *testing.T) {
 	}
 	if tel.Aggregator().Cells() != 2 {
 		t.Errorf("aggregator merged %d cells, want 2", tel.Aggregator().Cells())
+	}
+	// The shim rides the jobs plane: the submission must be visible on
+	// the jobs API too.
+	jresp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody, _ := io.ReadAll(jresp.Body)
+	jresp.Body.Close()
+	if !strings.Contains(string(jbody), `"state": "done"`) {
+		t.Errorf("shim job not visible on /jobs: %s", jbody)
 	}
 }

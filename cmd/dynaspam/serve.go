@@ -10,29 +10,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"dynaspam/internal/core"
-	"dynaspam/internal/experiments"
-	"dynaspam/internal/probe"
-	"dynaspam/internal/runner"
+	"dynaspam/internal/jobs"
 	"dynaspam/internal/telemetry"
 )
 
 // shutdownGrace bounds how long graceful shutdown waits for in-flight
-// HTTP requests (and telemetry scrapes) to drain.
+// HTTP requests (and telemetry scrapes) to drain. Running jobs are then
+// cancelled without a terminal marker, so a restart resumes them.
 const shutdownGrace = 5 * time.Second
 
-// runServe is the long-running mode: keep the telemetry plane up and
-// accept repeated sweep submissions via POST /sweep until SIGINT/SIGTERM.
+// runServe is the long-running mode: the telemetry plane plus the
+// multi-tenant jobs API (POST /jobs and friends), with POST /sweep kept
+// as a deprecated synchronous shim. With -state, submissions and per-cell
+// results are persisted so a killed server resumes interrupted jobs at
+// their first unfinished cell on restart.
 func runServe(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dynaspam serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address for the telemetry plane and sweep API")
-		parallelism = fs.Int("j", 0, "parallel simulations per submitted sweep (0 = GOMAXPROCS)")
+		addr        = fs.String("addr", ":8080", "listen address for the telemetry plane and jobs API")
+		parallelism = fs.Int("j", 0, "parallel simulations per running job (0 = GOMAXPROCS)")
+		maxJobs     = fs.Int("max-jobs", 1, "jobs running concurrently; further submissions queue FIFO")
+		stateDir    = fs.String("state", "", "state directory for durable jobs (empty = ephemeral: jobs do not survive restarts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -40,8 +42,23 @@ func runServe(args []string, stderr io.Writer) int {
 	log, runID := newRunLogger(stderr)
 
 	tel := telemetry.NewServer(runID, log)
-	sw := &sweeper{tel: tel, log: log, parallelism: *parallelism}
-	tel.Handle("/sweep", sw)
+	plane, err := jobs.New(jobs.Config{
+		Dir:         *stateDir,
+		MaxJobs:     *maxJobs,
+		Parallelism: *parallelism,
+		Aggregator:  tel.Aggregator(),
+		Tracker:     tel.Tracker(),
+		Log:         log,
+	})
+	if err != nil {
+		log.Error("job plane init failed", "err", err)
+		return 1
+	}
+	plane.Mount(tel)
+	tel.Handle("POST /sweep", &sweepShim{plane: plane, log: log})
+	if *stateDir == "" {
+		log.Warn("no -state directory: jobs are ephemeral and will not survive a restart")
+	}
 	if _, err := tel.Start(*addr); err != nil {
 		log.Error("listen failed", "addr", *addr, "err", err)
 		return 1
@@ -54,14 +71,17 @@ func runServe(args []string, stderr io.Writer) int {
 	log.Info("shutting down")
 	shCtx, shCancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer shCancel()
-	if err := tel.Shutdown(shCtx); err != nil {
-		log.Error("shutdown failed", "err", err)
+	telErr := tel.Shutdown(shCtx)
+	planeErr := plane.Shutdown(shCtx)
+	if telErr != nil || planeErr != nil {
+		log.Error("shutdown failed", "telemetry_err", telErr, "jobs_err", planeErr)
 		return 1
 	}
 	return 0
 }
 
-// sweepResponse is the POST /sweep reply body.
+// sweepResponse is the POST /sweep reply body, kept shape-compatible with
+// the pre-jobs-plane server.
 type sweepResponse struct {
 	Sweep  string   `json:"sweep"`
 	Cells  int      `json:"cells"`
@@ -71,105 +91,72 @@ type sweepResponse struct {
 	Error  string   `json:"error,omitempty"`
 }
 
-// sweeper handles POST /sweep: it runs one benchmark sweep synchronously
-// and replies with a summary. Submissions are serialized — a second POST
-// while one is running gets 409 Conflict — so concurrent clients cannot
-// oversubscribe the worker pool; live progress is on /status and /events
-// as usual.
-type sweeper struct {
-	tel         *telemetry.Server
-	log         *slog.Logger
-	parallelism int
-	busy        atomic.Bool
-	seq         atomic.Int64
+// sweepShim is the deprecated synchronous POST /sweep handler: it
+// translates the query-parameter submission into a job, waits for the job
+// to finish, and replies in the old synchronous format. Unlike the old
+// single-slot server it never returns 409 — submissions queue behind
+// running jobs — but new clients should POST /jobs and poll instead of
+// holding a connection open.
+type sweepShim struct {
+	plane *jobs.Plane
+	log   *slog.Logger
 }
 
-func (s *sweeper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	if !s.busy.CompareAndSwap(false, true) {
-		http.Error(w, "a sweep is already running", http.StatusConflict)
-		return
-	}
-	defer s.busy.Store(false)
+func (s *sweepShim) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</jobs>; rel="successor-version"`)
 
 	q := r.URL.Query()
-	bench := q.Get("bench")
-	if bench == "" {
+	spec := jobs.Spec{Bench: q.Get("bench"), Mode: q.Get("mode")}
+	if spec.Bench == "" {
 		http.Error(w, "missing bench parameter", http.StatusBadRequest)
 		return
 	}
-	modeName := q.Get("mode")
-	if modeName == "" {
-		modeName = "accel-spec"
-	}
-	mode, ok := parseMode(modeName)
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown mode %q", modeName), http.StatusBadRequest)
-		return
-	}
-	ws, err := selectWorkloads(bench)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	params := core.DefaultParams()
-	params.Mode = mode
-	if err := intParam(q.Get("tracelen"), &params.TraceLen); err != nil {
+	if err := intParam(q.Get("tracelen"), &spec.TraceLen); err != nil {
 		http.Error(w, "bad tracelen: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := intParam(q.Get("fabrics"), &params.NumFabrics); err != nil {
+	if err := intParam(q.Get("fabrics"), &spec.Fabrics); err != nil {
 		http.Error(w, "bad fabrics: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 
-	name := fmt.Sprintf("sweep-%d", s.seq.Add(1))
-	jobs := make([]runner.Job[*experiments.RunResult], len(ws))
-	labels := make([]string, len(ws))
-	for i, wl := range ws {
-		i, wl := i, wl
-		pr := probe.NewMetricsOnly()
-		labels[i] = fmt.Sprintf("%s/%v", wl.Abbrev, mode)
-		jobs[i] = runner.Job[*experiments.RunResult]{
-			Label: labels[i],
-			Run: func(ctx context.Context) (*experiments.RunResult, error) {
-				res, err := experiments.RunProbedCtx(ctx, wl, params, pr)
-				if err == nil {
-					s.tel.Aggregator().Merge(pr.Metrics().Export())
-				}
-				return res, err
-			},
-		}
-	}
-
 	start := time.Now()
-	_, runErr := runner.Run(r.Context(), runner.Options{
-		Parallelism: s.parallelism,
-		Name:        name,
-		Reporter:    s.tel.Reporter(),
-		Log:         s.log,
-	}, jobs)
+	id, err := s.plane.Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	done, _ := s.plane.Done(id)
+	select {
+	case <-done:
+	case <-r.Context().Done():
+		// Client gave up; the job keeps running and remains visible on
+		// GET /jobs/{id}.
+		http.Error(w, fmt.Sprintf("request cancelled; job %s continues, poll /jobs/%s", id, id),
+			http.StatusRequestTimeout)
+		return
+	}
 	wall := time.Since(start)
 
+	v, _ := s.plane.Get(id)
 	resp := sweepResponse{
-		Sweep:  name,
-		Cells:  len(ws),
+		Sweep:  id,
+		Cells:  v.Total,
+		Failed: v.Failed,
 		WallMS: float64(wall.Microseconds()) / 1e3,
-		Labels: labels,
+		Labels: make([]string, 0, len(v.Cells)),
+		Error:  v.Error,
 	}
-	for _, sw := range s.tel.Tracker().Status().Sweeps {
-		if sw.Name == name {
-			resp.Failed = sw.Failed
-		}
+	for _, c := range v.Cells {
+		resp.Labels = append(resp.Labels, c.Label)
 	}
 	code := http.StatusOK
-	if runErr != nil {
-		resp.Error = runErr.Error()
+	if v.State != jobs.StateDone {
 		code = http.StatusInternalServerError
+		if resp.Error == "" {
+			resp.Error = "job " + v.State
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -1,0 +1,106 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"dynaspam/internal/core"
+)
+
+// maxCacheEntries bounds the in-memory memo cache. Entries are small
+// (one metrics map per simulated cell) but a long-lived multi-tenant
+// server sees unbounded distinct configurations; beyond the cap the
+// oldest entry is dropped FIFO.
+const maxCacheEntries = 4096
+
+// CellKey derives the memo-cache key for one sweep cell: a hex SHA-256
+// over the workload name, the full simulator configuration, and the code
+// version. core.Params and everything it embeds are pure scalar structs
+// (no maps, no pointers), so the %#v rendering — and therefore the key —
+// is deterministic across processes of the same build.
+func CellKey(workload string, params core.Params, version string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%#v|%s", workload, params, version)))
+	return hex.EncodeToString(sum[:])
+}
+
+// CodeVersion identifies the simulator build for cache keying: the VCS
+// revision baked into the binary, or "dev" when built outside version
+// control (tests, go run). Keying on it means a rebuilt simulator never
+// serves stale cells from a previous algorithm.
+func CodeVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+// Cache memoizes finished cell results by CellKey so repeated submissions
+// of the same (workload, config, code-version) skip re-simulation. It
+// stores only the journal-visible metrics map — exactly what a resumed
+// journal replay would restore — never live simulator state. Safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]map[string]float64
+	order   []string // insertion order, for FIFO eviction
+	hits    int
+	misses  int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]map[string]float64)}
+}
+
+// Get returns the memoized metrics for key, counting a hit or miss.
+// The returned map is a copy; callers may not mutate shared state.
+func (c *Cache) Get(key string) (map[string]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return copyMetrics(m), true
+}
+
+// Put memoizes metrics under key, evicting the oldest entry beyond
+// maxCacheEntries. Re-putting an existing key overwrites in place.
+func (c *Cache) Put(key string, metrics map[string]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+		if len(c.order) > maxCacheEntries {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.entries[key] = copyMetrics(metrics)
+}
+
+// Stats returns cumulative hit/miss counts and the current entry count.
+func (c *Cache) Stats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// copyMetrics deep-copies a metrics map so cache entries and callers
+// never alias.
+func copyMetrics(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

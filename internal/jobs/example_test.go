@@ -1,0 +1,35 @@
+package jobs_test
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+
+	"dynaspam/internal/jobs"
+)
+
+// ExamplePlane_Submit runs one benchmark sweep through the job plane:
+// submit, wait on the job's done channel, inspect the final view. With
+// no state directory the plane is ephemeral — fine for one-off use; a
+// server passes Config.Dir so jobs survive restarts.
+func ExamplePlane_Submit() {
+	p, err := jobs.New(jobs.Config{
+		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	id, err := p.Submit(jobs.Spec{Bench: "PF"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	done, _ := p.Done(id)
+	<-done
+
+	v, _ := p.Get(id)
+	fmt.Println(id, v.State, v.Done, "of", v.Total)
+	// Output: job-000001 done 1 of 1
+}

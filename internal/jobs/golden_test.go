@@ -1,0 +1,71 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/experiments"
+	"dynaspam/internal/probe"
+	"dynaspam/internal/workloads"
+)
+
+// TestGoldenBFSExportsUnchangedUnderJobPlane extends the golden
+// determinism lock to the jobs plane: a directly-run, fully-probed BFS
+// export must stay byte-identical to the committed golden files while
+// the plane is concurrently executing queued jobs in the same process.
+// Queueing, journaling, memoization, and per-job aggregation must not
+// perturb a single simulated cycle of an unrelated run.
+func TestGoldenBFSExportsUnchangedUnderJobPlane(t *testing.T) {
+	p, srv := newTestPlane(t, t.TempDir(), 2)
+	p.Mount(srv)
+	id, err := p.Submit(Spec{Bench: "BP,NW,PF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// While the job churns, run the golden BFS export directly.
+	w, err := workloads.ByAbbrev("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Mode = core.ModeAccel
+	pr := probe.New(40000)
+	if _, err := experiments.RunProbedCtx(context.Background(), w, params, pr); err != nil {
+		t.Fatal(err)
+	}
+	runs := []probe.TraceRun{pr.TraceRun("BFS")}
+	var cb, pb bytes.Buffer
+	if err := probe.WriteChromeTrace(&cb, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.WritePipeView(&pb, runs); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenDir := filepath.Join("..", "experiments", "testdata")
+	for _, g := range []struct {
+		name string
+		got  []byte
+	}{
+		{"bfs_accel_trace.json", cb.Bytes()},
+		{"bfs_accel_pipeview.kanata", pb.Bytes()},
+	} {
+		want, err := os.ReadFile(filepath.Join(goldenDir, g.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s differs from golden while job plane is active (%d vs %d bytes)",
+				g.name, len(g.got), len(want))
+		}
+	}
+
+	if v := await(t, p, id); v.State != StateDone {
+		t.Fatalf("concurrent job: %s (%s)", v.State, v.Error)
+	}
+}

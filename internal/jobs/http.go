@@ -1,0 +1,203 @@
+package jobs
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dynaspam/internal/telemetry"
+)
+
+// View is one job's externally visible state, the GET /jobs/{id}
+// response body. Summary listings (GET /jobs) omit Cells.
+type View struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Bench  string `json:"bench"`
+	Mode   string `json:"mode"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	// EtaMS estimates milliseconds to completion from the Tracker's
+	// finished-cell pace; 0 when unknown, finished, or not running.
+	EtaMS float64     `json:"eta_ms"`
+	Error string      `json:"error,omitempty"`
+	Cells []cellState `json:"cells,omitempty"`
+}
+
+// viewLocked renders a job; the caller holds mu. Cells are copied so the
+// caller may release the lock before serializing.
+func (p *Plane) viewLocked(j *job, withCells bool) View {
+	v := View{
+		ID:    j.id,
+		State: j.state,
+		Bench: j.spec.Bench,
+		Mode:  j.spec.Mode,
+		Total: len(j.cells),
+		Error: j.errMsg,
+	}
+	if v.Mode == "" {
+		v.Mode = "accel-spec"
+	}
+	for _, c := range j.cells {
+		switch c.Status {
+		case "":
+		case "ok":
+			v.Done++
+		default:
+			v.Done++
+			v.Failed++
+		}
+	}
+	if withCells {
+		v.Cells = append([]cellState(nil), j.cells...)
+	}
+	return v
+}
+
+// etaFor pulls the job's live ETA from the Tracker, which tracks each job
+// as a sweep named by its ID.
+func (p *Plane) etaFor(id string) float64 {
+	if p.cfg.Tracker == nil {
+		return 0
+	}
+	for _, sw := range p.cfg.Tracker.Status().Sweeps {
+		if sw.Name == id && sw.Active {
+			return sw.EtaMS
+		}
+	}
+	return 0
+}
+
+// Get returns one job's full view.
+func (p *Plane) Get(id string) (View, bool) {
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	if !ok {
+		p.mu.Unlock()
+		return View{}, false
+	}
+	v := p.viewLocked(j, true)
+	p.mu.Unlock()
+	v.EtaMS = p.etaFor(id)
+	return v, true
+}
+
+// List returns summary views of every job in submission order.
+func (p *Plane) List() []View {
+	p.mu.Lock()
+	out := make([]View, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.viewLocked(p.jobs[id], false))
+	}
+	p.mu.Unlock()
+	for i := range out {
+		out[i].EtaMS = p.etaFor(out[i].ID)
+	}
+	return out
+}
+
+// Mount registers the jobs API on the telemetry server's mux and hooks
+// the plane's queue and cache counters into /metrics. Must be called
+// before the server starts.
+//
+//	POST   /jobs       submit a Spec (JSON body) → 202 + {"id": ...}
+//	GET    /jobs       list all jobs, submission order
+//	GET    /jobs/{id}  one job with per-cell progress and ETA
+//	DELETE /jobs/{id}  cancel (queued: immediate; running: via context)
+func (p *Plane) Mount(tel *telemetry.Server) {
+	tel.Handle("POST /jobs", http.HandlerFunc(p.handleSubmit))
+	tel.Handle("GET /jobs", http.HandlerFunc(p.handleList))
+	tel.Handle("GET /jobs/{id}", http.HandlerFunc(p.handleGet))
+	tel.Handle("DELETE /jobs/{id}", http.HandlerFunc(p.handleCancel))
+	tel.AddExtra(p.metricFamilies)
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSubmit implements POST /jobs.
+func (p *Plane) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := p.Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, struct {
+		ID string `json:"id"`
+	}{ID: id})
+}
+
+// handleList implements GET /jobs.
+func (p *Plane) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []View `json:"jobs"`
+	}{Jobs: p.List()})
+}
+
+// handleGet implements GET /jobs/{id}.
+func (p *Plane) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := p.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleCancel implements DELETE /jobs/{id}: 202 because a running job
+// drains asynchronously; poll GET /jobs/{id} for the cancelled state.
+func (p *Plane) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !p.Cancel(id) {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	v, _ := p.Get(id)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// metricFamilies renders the plane's own counters for /metrics.
+func (p *Plane) metricFamilies() []telemetry.ExtraFamily {
+	p.mu.Lock()
+	counts := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}
+	for _, id := range p.order {
+		counts[p.jobs[id].state]++
+	}
+	submitted := len(p.order)
+	p.mu.Unlock()
+	hits, misses, entries := p.cache.Stats()
+
+	states := []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+	stateSamples := make([]telemetry.ExtraSample, len(states))
+	for i, s := range states {
+		stateSamples[i] = telemetry.ExtraSample{
+			Labels: []telemetry.Label{{Key: "state", Value: s}},
+			Value:  float64(counts[s]),
+		}
+	}
+	return []telemetry.ExtraFamily{
+		{Name: "dynaspam_jobs", Help: "Jobs known to the plane, by lifecycle state.", Type: "gauge", Samples: stateSamples},
+		{Name: "dynaspam_jobs_submitted_total", Help: "Jobs accepted since the plane started (including recovered ones).", Type: "counter",
+			Samples: []telemetry.ExtraSample{{Value: float64(submitted)}}},
+		{Name: "dynaspam_job_cache_hits_total", Help: "Sweep cells served from the memo cache instead of simulating.", Type: "counter",
+			Samples: []telemetry.ExtraSample{{Value: float64(hits)}}},
+		{Name: "dynaspam_job_cache_misses_total", Help: "Sweep cells that missed the memo cache and simulated.", Type: "counter",
+			Samples: []telemetry.ExtraSample{{Value: float64(misses)}}},
+		{Name: "dynaspam_job_cache_entries", Help: "Cells currently memoized.", Type: "gauge",
+			Samples: []telemetry.ExtraSample{{Value: float64(entries)}}},
+	}
+}

@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/workloads"
+)
+
+// Spec is a job submission: which benchmarks to simulate and under what
+// configuration. It is the JSON body of POST /jobs and the unit persisted
+// to the state directory, so adding a field here extends both the wire
+// format and the on-disk format (both tolerate absent fields).
+type Spec struct {
+	// Bench selects workloads: a single abbreviation ("BP"), a
+	// comma-separated list ("BP,PF"), or "all".
+	Bench string `json:"bench"`
+	// Mode is the architecture mode: baseline | mapping | accel-nospec |
+	// accel-spec. Empty means accel-spec.
+	Mode string `json:"mode,omitempty"`
+	// TraceLen overrides the trace length cap when positive.
+	TraceLen int `json:"tracelen,omitempty"`
+	// Fabrics overrides the physical fabric count when positive.
+	Fabrics int `json:"fabrics,omitempty"`
+}
+
+// ParseMode maps a mode name to its core.Mode. The names match the CLI's
+// -mode flag and the JSON spec's "mode" field.
+func ParseMode(name string) (core.Mode, bool) {
+	switch name {
+	case "baseline":
+		return core.ModeBaseline, true
+	case "mapping":
+		return core.ModeMappingOnly, true
+	case "accel-nospec":
+		return core.ModeAccelNoSpec, true
+	case "accel-spec":
+		return core.ModeAccel, true
+	}
+	return 0, false
+}
+
+// Workloads resolves the spec's bench selector to concrete workloads.
+func (s Spec) Workloads() ([]*workloads.Workload, error) {
+	if s.Bench == "" {
+		return nil, fmt.Errorf("jobs: spec has no bench")
+	}
+	if strings.EqualFold(s.Bench, "all") {
+		return workloads.All(), nil
+	}
+	var ws []*workloads.Workload
+	for _, ab := range strings.Split(s.Bench, ",") {
+		w, err := workloads.ByAbbrev(strings.TrimSpace(ab))
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// Params resolves the spec's configuration overrides onto the default
+// simulator parameters.
+func (s Spec) Params() (core.Params, error) {
+	params := core.DefaultParams()
+	modeName := s.Mode
+	if modeName == "" {
+		modeName = "accel-spec"
+	}
+	mode, ok := ParseMode(modeName)
+	if !ok {
+		return params, fmt.Errorf("jobs: unknown mode %q", s.Mode)
+	}
+	params.Mode = mode
+	if s.TraceLen < 0 {
+		return params, fmt.Errorf("jobs: tracelen %d is negative", s.TraceLen)
+	}
+	if s.TraceLen > 0 {
+		params.TraceLen = s.TraceLen
+	}
+	if s.Fabrics < 0 {
+		return params, fmt.Errorf("jobs: fabrics %d is negative", s.Fabrics)
+	}
+	if s.Fabrics > 0 {
+		params.NumFabrics = s.Fabrics
+	}
+	return params, nil
+}
+
+// Validate checks that the spec resolves to at least one workload and a
+// legal configuration, without running anything. Submit rejects invalid
+// specs up front so a queued job can only fail for simulation reasons.
+func (s Spec) Validate() error {
+	if _, err := s.Workloads(); err != nil {
+		return err
+	}
+	_, err := s.Params()
+	return err
+}

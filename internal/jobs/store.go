@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dynaspam/internal/runner"
+)
+
+// The state directory holds three files per job, all named by job ID:
+//
+//	<id>.spec.json   the Spec, written before POST /jobs replies 202
+//	<id>.runs.jsonl  the sync-mode run journal, one entry per finished cell
+//	<id>.state.json  the terminal marker (done/failed/cancelled), written
+//	                 when the job ends
+//
+// A job with a spec file but no terminal marker was interrupted — the
+// process died or was killed mid-run — and is re-enqueued on startup with
+// its journal replayed into a completion mask, so it resumes at its first
+// unfinished cell. The journal is written in sync mode precisely so this
+// replay can never miss a finished cell.
+
+// terminalState is the <id>.state.json payload.
+type terminalState struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// store persists job state under dir. A nil store (ephemeral mode, no
+// -state flag) skips all persistence: jobs run fine but do not survive a
+// restart and resume from nothing.
+type store struct {
+	dir string
+}
+
+// newStore ensures dir exists and returns a store over it; an empty dir
+// returns nil (ephemeral mode).
+func newStore(dir string) (*store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: state dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (s *store) specPath(id string) string    { return filepath.Join(s.dir, id+".spec.json") }
+func (s *store) journalPath(id string) string { return filepath.Join(s.dir, id+".runs.jsonl") }
+func (s *store) statePath(id string) string   { return filepath.Join(s.dir, id+".state.json") }
+
+// writeSpec persists a submission before it is acknowledged.
+func (s *store) writeSpec(id string, spec Spec) error {
+	if s == nil {
+		return nil
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal spec: %w", err)
+	}
+	if err := os.WriteFile(s.specPath(id), append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("jobs: write spec: %w", err)
+	}
+	return nil
+}
+
+// writeTerminal marks a job finished. Interrupted jobs never get a
+// marker; that absence is what recovery keys on.
+func (s *store) writeTerminal(id, state, errMsg string) error {
+	if s == nil {
+		return nil
+	}
+	b, err := json.Marshal(terminalState{State: state, Error: errMsg})
+	if err != nil {
+		return fmt.Errorf("jobs: marshal state: %w", err)
+	}
+	if err := os.WriteFile(s.statePath(id), append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("jobs: write state: %w", err)
+	}
+	return nil
+}
+
+// openJournal opens the job's run journal for appending in sync
+// (flush-per-entry) mode, or returns nil in ephemeral mode.
+func (s *store) openJournal(id string) (*runner.Journal, error) {
+	if s == nil {
+		return nil, nil
+	}
+	j, err := runner.OpenJournalAppend(s.journalPath(id))
+	if err != nil {
+		return nil, err
+	}
+	j.SetSync(true)
+	return j, nil
+}
+
+// readJournal replays the job's journal; a missing file is zero entries.
+func (s *store) readJournal(id string) ([]runner.Entry, error) {
+	if s == nil {
+		return nil, nil
+	}
+	f, err := os.Open(s.journalPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return runner.ReadJournal(f)
+}
+
+// recovered is one job found in the state directory on startup.
+type recovered struct {
+	id       string
+	spec     Spec
+	terminal *terminalState // nil when the job was interrupted
+	entries  []runner.Entry // replayed journal, completion order
+}
+
+// recover scans the state directory and returns every persisted job in
+// job-ID order (IDs are zero-padded, so lexicographic order is
+// submission order). Corrupt spec or journal files fail recovery loudly —
+// an operator must move the damaged file aside — but a corrupt terminal
+// marker only degrades that job to interrupted, which re-runs it.
+func (s *store) recover() ([]recovered, error) {
+	if s == nil {
+		return nil, nil
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	out := make([]recovered, 0, len(names))
+	for _, name := range names {
+		id := strings.TrimSuffix(filepath.Base(name), ".spec.json")
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: recover %s: %w", id, err)
+		}
+		var spec Spec
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return nil, fmt.Errorf("jobs: recover %s: corrupt spec: %w", id, err)
+		}
+		r := recovered{id: id, spec: spec}
+		if tb, err := os.ReadFile(s.statePath(id)); err == nil {
+			var ts terminalState
+			if err := json.Unmarshal(tb, &ts); err == nil && ts.State != "" {
+				r.terminal = &ts
+			}
+		}
+		r.entries, err = s.readJournal(id)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: recover %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -36,6 +36,27 @@ func ExampleRun_errorPropagation() {
 	// Output: architectural mismatch
 }
 
+// ExampleRunResume replays a journal from an interrupted sweep into a
+// completion mask and re-runs only the unfinished cells — the checkpoint
+// half of the jobs plane's crash recovery.
+func ExampleRunResume() {
+	journal := `{"seq":0,"label":"cell/0","status":"ok"}
+{"seq":2,"label":"cell/2","status":"ok"}
+`
+	entries, _ := runner.ReadJournal(strings.NewReader(journal))
+	jobs := []runner.Job[int]{
+		{Label: "cell/0", Run: func(ctx context.Context) (int, error) { return 100, nil }},
+		{Label: "cell/1", Run: func(ctx context.Context) (int, error) { return 101, nil }},
+		{Label: "cell/2", Run: func(ctx context.Context) (int, error) { return 102, nil }},
+	}
+	mask := runner.Completed(entries, len(jobs))
+	out, err := runner.RunResume(context.Background(), runner.Options{}, jobs, mask)
+	// Cells 0 and 2 were already complete, so only cell 1 runs; skipped
+	// cells keep their zero value.
+	fmt.Println(out, err)
+	// Output: [0 101 0] <nil>
+}
+
 // ExampleNewJournal records one JSON line per run, carrying status and wall
 // time; results implementing Metricser add domain metrics.
 func ExampleNewJournal() {

@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -58,6 +60,7 @@ type Journal struct {
 	buf   []byte    // marshaled whole lines not yet pushed to w
 	owned io.Closer // non-nil when the journal opened the file itself
 	err   error     // first write error, reported by Close
+	sync  bool      // flush after every entry (checkpoint mode)
 	lines int
 }
 
@@ -79,6 +82,31 @@ func OpenJournal(path string) (*Journal, error) {
 	return &Journal{w: f, owned: f}, nil
 }
 
+// OpenJournalAppend opens (creating if absent) the file at path in append
+// mode and returns a journal writing to it. A resumed sweep uses this so
+// the entries of its earlier, interrupted attempts are preserved; Close
+// closes the file.
+func OpenJournalAppend(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	return &Journal{w: f, owned: f}, nil
+}
+
+// SetSync switches the journal into checkpoint mode: every Write flushes
+// its line to the underlying writer immediately instead of accumulating
+// until journalFlushBytes. A sweep journaled in sync mode therefore never
+// loses a finished cell to a crash — the instant a cell's entry is
+// written, it is on the file, and a restarted process can resume from it
+// (see ReadJournal). The cost is one small write syscall per cell, which
+// is noise next to a simulation cell's runtime.
+func (j *Journal) SetSync(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sync = on
+}
+
 // Write appends one entry as a JSON line to the journal's buffer, flushing
 // automatically at whole-line boundaries once journalFlushBytes accumulate.
 // Marshal or write failures are sticky: the first one is remembered and
@@ -98,7 +126,7 @@ func (j *Journal) Write(e Entry) error {
 	j.buf = append(j.buf, b...)
 	j.buf = append(j.buf, '\n')
 	j.lines++
-	if len(j.buf) >= journalFlushBytes {
+	if j.sync || len(j.buf) >= journalFlushBytes {
 		return j.flushLocked()
 	}
 	return nil
@@ -150,4 +178,64 @@ func (j *Journal) Close() error {
 		j.owned = nil
 	}
 	return j.err
+}
+
+// ReadJournal parses a JSON-lines run journal back into its entries, in
+// file (completion) order. It is the replay half of the checkpoint story:
+// the jobs plane reads a crashed sweep's journal on startup and resumes at
+// the first cell with no StatusOK entry.
+//
+// Blank lines are skipped. A malformed *final* line is tolerated and
+// dropped — a process killed mid-write can leave a torn last line, and
+// losing the in-flight record is exactly the semantics resume wants.
+// Malformed lines anywhere earlier are real corruption and return an
+// error alongside the entries parsed so far.
+func ReadJournal(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var (
+		entries []Entry
+		badLine int // 1-based line number of the first malformed line
+		badErr  error
+	)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if badErr != nil {
+			// A parseable line after a malformed one: the damage was not
+			// a torn tail, so it is corruption.
+			return entries, fmt.Errorf("runner: journal line %d: %w", badLine, badErr)
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			badLine, badErr = n, err
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return entries, fmt.Errorf("runner: journal read: %w", err)
+	}
+	// badErr still set here means the malformed line was the last one:
+	// treat it as a torn in-flight write and drop it silently.
+	return entries, nil
+}
+
+// Completed reduces journal entries to a per-seq completion mask for a
+// sweep of total cells: mask[seq] is true when some entry recorded seq
+// finishing with StatusOK. Entries for other statuses (error, panic,
+// skipped) leave the cell incomplete so a resume re-attempts it; entries
+// with out-of-range seqs are ignored.
+func Completed(entries []Entry, total int) []bool {
+	mask := make([]bool, total)
+	for _, e := range entries {
+		if e.Status == StatusOK && e.Seq >= 0 && e.Seq < total {
+			mask[e.Seq] = true
+		}
+	}
+	return mask
 }

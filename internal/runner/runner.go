@@ -131,8 +131,37 @@ func (p *PanicError) Error() string {
 // because of that failure keep their zero value. Cancellation of the parent
 // ctx is reported as ctx's error if no job failed outright.
 func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]R, error) {
+	return RunResume(ctx, opts, jobs, nil)
+}
+
+// RunResume is Run for a sweep that was partially finished by an earlier
+// attempt: cells whose completed[i] is true are skipped entirely — not
+// executed, not journaled (their entries already exist in the previous
+// attempt's journal), not reported — while the remaining cells run exactly
+// as Run would have run them, keeping their original input-order Seq in
+// journal entries and reporter callbacks. Derive the mask from the prior
+// journal with ReadJournal + Completed. A nil mask (or Run itself) runs
+// everything; a mask of the wrong length is an error. Skipped cells keep
+// the zero value in the returned slice: the caller resuming a sweep
+// already holds their results, journaled by the earlier attempt.
+func RunResume[R any](ctx context.Context, opts Options, jobs []Job[R], completed []bool) ([]R, error) {
 	out := make([]R, len(jobs))
-	if len(jobs) == 0 {
+	if completed != nil && len(completed) != len(jobs) {
+		return out, fmt.Errorf("runner: resume mask has %d cells, sweep has %d", len(completed), len(jobs))
+	}
+	remaining := len(jobs)
+	for _, done := range completed {
+		if done {
+			remaining--
+		}
+	}
+	if len(jobs) == 0 || remaining == 0 {
+		// Nothing to execute; still bracket the (empty) resume for the
+		// reporter so live observers see the sweep happened.
+		if opts.Reporter != nil {
+			opts.Reporter.SweepStart(opts.Name, len(jobs))
+			opts.Reporter.SweepEnd(opts.Name)
+		}
 		return out, ctx.Err()
 	}
 	errs := make([]error, len(jobs))
@@ -140,27 +169,31 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]R, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	prog := newProgress(opts.Progress, opts.Name, len(jobs))
+	prog := newProgress(opts.Progress, opts.Name, remaining)
 
 	workers := opts.workers()
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > remaining {
+		workers = remaining
 	}
 
 	if opts.Reporter != nil {
 		opts.Reporter.SweepStart(opts.Name, len(jobs))
 	}
 	if opts.Log != nil {
-		opts.Log.Info("sweep start", "sweep", opts.Name, "cells", len(jobs), "workers", workers)
+		opts.Log.Info("sweep start", "sweep", opts.Name, "cells", len(jobs),
+			"resumed", len(jobs)-remaining, "workers", workers)
 	}
 
 	// Feed indices, not jobs, so results land positionally. With one
 	// worker the channel drains in input order, reproducing the serial
-	// loop exactly.
+	// loop exactly. Cells finished by an earlier attempt are never fed.
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
 		for i := range jobs {
+			if completed != nil && completed[i] {
+				continue
+			}
 			select {
 			case idx <- i:
 			case <-ctx.Done():

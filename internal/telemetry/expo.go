@@ -22,6 +22,12 @@ import (
 // series can't collide with the plane's own sweep/runtime families.
 const simPrefix = "dynaspam_sim_"
 
+// jobSimPrefix namespaces the per-job partitions of the same metrics.
+// The same simulation counter appears twice on a scrape page: once under
+// simPrefix as the cross-job total and once under jobSimPrefix broken
+// down by a job_id label.
+const jobSimPrefix = "dynaspam_job_sim_"
+
 // label is one exposition label pair; values are escaped at render time.
 type label struct{ k, v string }
 
@@ -132,6 +138,128 @@ func writeExport(e *expoWriter, ex probe.Export) {
 		e.sample(full+"_bucket", []label{{"le", "+Inf"}}, float64(h.Count))
 		e.sample(full+"_sum", nil, h.Sum)
 		e.sample(full+"_count", nil, float64(h.Count))
+	}
+}
+
+// writeJobExports renders per-job metric partitions under jobSimPrefix,
+// every sample labeled with its job_id. The exposition format requires a
+// family's samples to be contiguous, so the outer loop is over metric
+// names (the union across jobs, sorted) and the inner loop over jobs —
+// one header per family, then one sample per job.
+func writeJobExports(e *expoWriter, jobs []JobExport) {
+	if len(jobs) == 0 {
+		return
+	}
+
+	counters := unionNames(jobs, func(ex probe.Export) map[string]float64 { return ex.Counters })
+	for _, name := range counters {
+		full := jobSimPrefix + name + "_total"
+		e.header(full, "Simulation counter "+name+" summed across one job's finished cells.", "counter")
+		for _, j := range jobs {
+			if v, ok := j.Export.Counters[name]; ok {
+				e.sample(full, []label{{"job_id", j.JobID}}, v)
+			}
+		}
+	}
+
+	gauges := unionNames(jobs, func(ex probe.Export) map[string]float64 { return ex.Gauges })
+	for _, name := range gauges {
+		full := jobSimPrefix + name
+		e.header(full, "Simulation gauge "+name+" per job (last finished cell wins).", "gauge")
+		for _, j := range jobs {
+			if v, ok := j.Export.Gauges[name]; ok {
+				e.sample(full, []label{{"job_id", j.JobID}}, v)
+			}
+		}
+	}
+
+	var hists []string
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		//lint:allow mapiter collect-then-sort: seen-guarded dedup then sort.Strings below makes hists order-independent
+		for name := range j.Export.Hists {
+			if !seen[name] {
+				seen[name] = true
+				hists = append(hists, name)
+			}
+		}
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		full := jobSimPrefix + name
+		e.header(full, "Simulation histogram "+name+" merged across one job's finished cells.", "histogram")
+		for _, j := range jobs {
+			h, ok := j.Export.Hists[name]
+			if !ok {
+				continue
+			}
+			id := []label{{"job_id", j.JobID}}
+			var cum uint64
+			for i, b := range h.Bounds {
+				cum += h.BucketCounts[i]
+				e.sample(full+"_bucket", []label{{"job_id", j.JobID}, {"le", formatValue(b)}}, float64(cum))
+			}
+			e.sample(full+"_bucket", []label{{"job_id", j.JobID}, {"le", "+Inf"}}, float64(h.Count))
+			e.sample(full+"_sum", id, h.Sum)
+			e.sample(full+"_count", id, float64(h.Count))
+		}
+	}
+}
+
+// unionNames collects the sorted union of metric names across job
+// partitions, selected by pick (counters or gauges).
+func unionNames(jobs []JobExport, pick func(probe.Export) map[string]float64) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, j := range jobs {
+		//lint:allow mapiter collect-then-sort: seen-guarded dedup then sort.Strings below makes names order-independent
+		for name := range pick(j.Export) {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Label is one exported label pair for ExtraSample; values are escaped at
+// render time.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// ExtraSample is one sample line of an ExtraFamily.
+type ExtraSample struct {
+	Labels []Label
+	Value  float64
+}
+
+// ExtraFamily is a metric family contributed to /metrics by a subsystem
+// outside the telemetry package (the jobs plane's queue depths and cache
+// counters). Type must be one of the exposition 0.0.4 types ("counter",
+// "gauge", ...); Name must satisfy the metric charset, which LintExposition
+// (and CI's lint-metrics step) will verify on the rendered page.
+type ExtraFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ExtraSample
+}
+
+// writeExtras renders caller-contributed families in the order given.
+func writeExtras(e *expoWriter, fams []ExtraFamily) {
+	for _, f := range fams {
+		e.header(f.Name, f.Help, f.Type)
+		for _, s := range f.Samples {
+			ls := make([]label, len(s.Labels))
+			for i, l := range s.Labels {
+				ls[i] = label{l.Key, l.Value}
+			}
+			e.sample(f.Name, ls, s.Value)
+		}
 	}
 }
 

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynaspam/internal/probe"
+)
+
+func jobExport(counter string, v float64) probe.Export {
+	return probe.Export{
+		Counters: map[string]float64{counter: v},
+		Gauges:   map[string]float64{"occupancy": v},
+		Hists:    map[string]probe.Histogram{},
+	}
+}
+
+func TestMergeJobPartitionsByJobID(t *testing.T) {
+	agg := NewAggregator()
+	agg.MergeJob("job-000001", jobExport("cycles", 10))
+	agg.MergeJob("job-000002", jobExport("cycles", 5))
+	agg.MergeJob("job-000001", jobExport("cycles", 7))
+
+	if got := agg.Export().Counters["cycles"]; got != 22 {
+		t.Errorf("global cycles = %v, want 22 (MergeJob must also feed the global aggregate)", got)
+	}
+	if got := agg.Cells(); got != 3 {
+		t.Errorf("Cells() = %d, want 3", got)
+	}
+	jobs := agg.JobExports()
+	if len(jobs) != 2 {
+		t.Fatalf("JobExports returned %d partitions, want 2", len(jobs))
+	}
+	if jobs[0].JobID != "job-000001" || jobs[1].JobID != "job-000002" {
+		t.Fatalf("partitions not sorted by job ID: %v %v", jobs[0].JobID, jobs[1].JobID)
+	}
+	if got := jobs[0].Export.Counters["cycles"]; got != 17 {
+		t.Errorf("job-000001 cycles = %v, want 17", got)
+	}
+	if got := jobs[1].Export.Counters["cycles"]; got != 5 {
+		t.Errorf("job-000002 cycles = %v, want 5", got)
+	}
+}
+
+func TestMergeJobEvictsOldestBeyondCap(t *testing.T) {
+	agg := NewAggregator()
+	for i := 0; i < maxJobSeries+3; i++ {
+		agg.MergeJob(fmt.Sprintf("job-%06d", i+1), jobExport("cycles", 1))
+	}
+	if got := agg.JobSeriesEvicted(); got != 3 {
+		t.Errorf("JobSeriesEvicted = %d, want 3", got)
+	}
+	jobs := agg.JobExports()
+	if len(jobs) != maxJobSeries {
+		t.Fatalf("retained %d partitions, want %d", len(jobs), maxJobSeries)
+	}
+	if jobs[0].JobID != "job-000004" {
+		t.Errorf("oldest retained partition = %s, want job-000004 (first three evicted)", jobs[0].JobID)
+	}
+	// The global aggregate keeps evicted jobs' contributions.
+	if got := agg.Export().Counters["cycles"]; got != float64(maxJobSeries+3) {
+		t.Errorf("global cycles = %v, want %d", got, maxJobSeries+3)
+	}
+}
+
+// TestMergeJobConcurrent exercises MergeJob from many goroutines under
+// -race: concurrent partition creation, eviction, and scraping must not
+// race.
+func TestMergeJobConcurrent(t *testing.T) {
+	agg := NewAggregator()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				agg.MergeJob(fmt.Sprintf("job-%06d", g*50+i), jobExport("cycles", 1))
+				agg.Merge(jobExport("cycles", 1))
+				_ = agg.JobExports()
+				_ = agg.Export()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := agg.Export().Counters["cycles"]; got != 800 {
+		t.Errorf("global cycles = %v, want 800", got)
+	}
+	if got := agg.Cells(); got != 800 {
+		t.Errorf("Cells() = %d, want 800", got)
+	}
+}
+
+// TestJobLabeledMetricsLintClean renders a /metrics page containing
+// per-job families (with histograms) and checks it against the
+// independent exposition linter — family contiguity across job_id labels
+// is the invariant at stake.
+func TestJobLabeledMetricsLintClean(t *testing.T) {
+	srv := NewServer("test-run", testLogger())
+	defer srv.Shutdown(nil)
+	hist := probe.Histogram{
+		Bounds:       []float64{1, 10},
+		BucketCounts: []uint64{3, 4},
+		Count:        9,
+		Sum:          44,
+	}
+	for _, id := range []string{"job-000002", "job-000001"} {
+		srv.Aggregator().MergeJob(id, probe.Export{
+			Counters: map[string]float64{"cycles": 10},
+			Gauges:   map[string]float64{"occupancy": 2},
+			Hists:    map[string]probe.Histogram{"lat": hist},
+		})
+	}
+	srv.AddExtra(func() []ExtraFamily {
+		return []ExtraFamily{{
+			Name: "dynaspam_jobs",
+			Help: "Jobs by state.",
+			Type: "gauge",
+			Samples: []ExtraSample{
+				{Labels: []Label{{"state", "queued"}}, Value: 1},
+				{Labels: []Label{{"state", "running"}}, Value: 2},
+			},
+		}}
+	})
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if err := LintExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("job-labeled exposition fails lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`dynaspam_job_sim_cycles_total{job_id="job-000001"} 10`,
+		`dynaspam_job_sim_cycles_total{job_id="job-000002"} 10`,
+		`dynaspam_job_sim_lat_bucket{job_id="job-000001",le="+Inf"} 9`,
+		`dynaspam_jobs{state="queued"} 1`,
+		"dynaspam_job_series_evicted_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServerPatternsRecordsMux(t *testing.T) {
+	srv := NewServer("test-run", testLogger())
+	defer srv.Shutdown(nil)
+	srv.Handle("POST /jobs", http.NotFoundHandler())
+	pats := srv.Patterns()
+	for _, want := range []string{"/metrics", "/healthz", "/status", "/events", "POST /jobs"} {
+		found := false
+		for _, p := range pats {
+			if p == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Patterns() missing %q (got %v)", want, pats)
+		}
+	}
+}

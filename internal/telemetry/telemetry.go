@@ -53,8 +53,10 @@ type Server struct {
 	sampler *sampler
 	mux     *http.ServeMux
 
-	mu  sync.Mutex
-	srv *http.Server
+	mu       sync.Mutex
+	srv      *http.Server
+	patterns []string
+	extras   []func() []ExtraFamily
 }
 
 // NewServer builds a telemetry plane for one process run. runID labels
@@ -72,15 +74,15 @@ func NewServer(runID string, log *slog.Logger) *Server {
 		sampler: newSampler(samplePeriod),
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/metrics", s.serveMetrics)
-	s.mux.HandleFunc("/healthz", s.serveHealthz)
-	s.mux.HandleFunc("/status", s.tracker.ServeStatus)
-	s.mux.HandleFunc("/events", s.tracker.ServeEvents)
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.Handle("/metrics", http.HandlerFunc(s.serveMetrics))
+	s.Handle("/healthz", http.HandlerFunc(s.serveHealthz))
+	s.Handle("/status", http.HandlerFunc(s.tracker.ServeStatus))
+	s.Handle("/events", http.HandlerFunc(s.tracker.ServeEvents))
+	s.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	s.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	s.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	s.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	s.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 	return s
 }
 
@@ -95,9 +97,37 @@ func (s *Server) Reporter() runner.Reporter { return s.tracker }
 // directly.
 func (s *Server) Tracker() *Tracker { return s.tracker }
 
-// Handle registers an additional handler (e.g. serve mode's /sweep) on
-// the plane's mux. Must be called before Start.
-func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+// Handle registers an additional handler (e.g. the jobs API or serve
+// mode's /sweep shim) on the plane's mux and records its pattern for
+// Patterns. Must be called before Start.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	s.mu.Lock()
+	s.patterns = append(s.patterns, pattern)
+	s.mu.Unlock()
+}
+
+// Patterns returns every mux pattern registered on the plane, in
+// registration order — the plane's own endpoints plus anything added via
+// Handle. The OPERATIONS.md coverage test diffs this list against the
+// documented endpoints, so the manual can never silently drift from the
+// mux.
+func (s *Server) Patterns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.patterns...)
+}
+
+// AddExtra registers a callback contributing extra metric families to
+// /metrics (the jobs plane's queue and cache counters). Callbacks run on
+// every scrape, in registration order, after the plane's own families and
+// before the aggregated simulation metrics; they must be safe for
+// concurrent use. Must be called before Start.
+func (s *Server) AddExtra(fn func() []ExtraFamily) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extras = append(s.extras, fn)
+}
 
 // Handler returns the plane's full HTTP handler, for tests and for
 // embedding into an existing server.
@@ -158,6 +188,12 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	e.sample("dynaspam_run_info", []label{{"run_id", s.runID}, {"go_version", goVersion()}}, 1)
 
 	writeSweeps(e, s.tracker.Status())
+	s.mu.Lock()
+	extras := append([]func() []ExtraFamily(nil), s.extras...)
+	s.mu.Unlock()
+	for _, fn := range extras {
+		writeExtras(e, fn())
+	}
 	writeAggregate(e, s.agg)
 	writeRuntime(e, s.sampler.Sample())
 }
@@ -195,7 +231,10 @@ func writeAggregate(e *expoWriter, agg *Aggregator) {
 	e.sample("dynaspam_cells_merged_total", nil, float64(agg.Cells()))
 	e.header("dynaspam_histogram_bounds_mismatch_total", "Histogram merges that dropped buckets because bounds differed across cells.", "counter")
 	e.sample("dynaspam_histogram_bounds_mismatch_total", nil, float64(agg.BoundsMismatches()))
+	e.header("dynaspam_job_series_evicted_total", "Per-job metric partitions dropped to bound /metrics cardinality.", "counter")
+	e.sample("dynaspam_job_series_evicted_total", nil, float64(agg.JobSeriesEvicted()))
 	writeExport(e, agg.Export())
+	writeJobExports(e, agg.JobExports())
 }
 
 // writeRuntime renders go_* process-health metrics from the sampler.
