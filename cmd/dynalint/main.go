@@ -4,9 +4,12 @@
 // invariant is violated:
 //
 //	go run ./cmd/dynalint ./...
+//	go run ./cmd/dynalint ./internal/jobs ./internal/telemetry
 //
-// Suppress a finding, with justification, by annotating the offending line
-// (or the line above it):
+// With -json, findings are emitted as a JSON array on stdout — one object
+// per finding with file/line/col/message/analyzer fields — for machine
+// consumers like the CI annotation step. Suppress a finding, with
+// justification, by annotating the offending line (or the line above it):
 //
 //	//lint:allow <analyzer> <reason>
 //
@@ -14,8 +17,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dynaspam/internal/lint"
@@ -23,8 +28,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynalint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynalint [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,10 +46,25 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint.Run(os.Stdout, "", patterns)
+	out := io.Writer(os.Stdout)
+	if *asJSON {
+		out = io.Discard // text report replaced by the JSON document below
+	}
+	findings, err := lint.Run(out, "", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynalint:", err)
 		os.Exit(2)
+	}
+	if *asJSON {
+		if findings == nil {
+			findings = []lint.Finding{} // emit [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dynalint:", err)
+			os.Exit(2)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "dynalint: %d invariant violation(s)\n", len(findings))

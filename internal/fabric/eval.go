@@ -171,6 +171,8 @@ func (f *Fabric) getRecordSet() recordSet {
 // commit); results of squashed invocations may simply be dropped. StartTimes
 // is not pooled — the pipeline retains it as the next invocation's
 // PrevStarts. Releasing the same result twice is a no-op.
+//
+//lint:pool
 func (f *Fabric) Release(res *ooo.TraceResult) {
 	if res.Loads == nil && res.Stores == nil && res.Branches == nil &&
 		res.LiveOuts == nil && res.LiveOutDelay == nil {

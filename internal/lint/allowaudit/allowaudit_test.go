@@ -1,0 +1,30 @@
+package allowaudit_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint"
+	"dynaspam/internal/lint/allowaudit"
+	"dynaspam/internal/lint/linttest"
+)
+
+// TestFixtures runs the entire analyzer suite over the fixture, as the
+// real driver does: a directive only counts as used once the analyzer it
+// names has actually run and been suppressed by it.
+func TestFixtures(t *testing.T) {
+	linttest.RunSuite(t, lint.Analyzers(), "dynaspam/internal/auditfix")
+}
+
+func TestScope(t *testing.T) {
+	a := allowaudit.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/ooo":       true,
+		"dynaspam/internal/lint/flow": true, // directives in the linter decay too
+		"dynaspam/cmd/dynaspam":       true,
+		"fmt":                         false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

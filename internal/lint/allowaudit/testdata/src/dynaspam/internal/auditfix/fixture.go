@@ -1,0 +1,23 @@
+// Package auditfix exercises allowaudit under the full suite: floateq
+// fires here (scope.Checked covers this path), so directives that suppress
+// it are live, and ones that do not are stale. Wants use the block form
+// because the line-comment slot holds the directive under test.
+package auditfix
+
+// justified suppresses a live floateq diagnostic with a real reason: the
+// correct use of the escape hatch, and allowaudit stays silent.
+func justified(a, b float64) bool {
+	return a == b //lint:allow floateq sentinel values are copied verbatim, never computed
+}
+
+// terse suppresses a live diagnostic but cannot be bothered to say why.
+func terse(a, b float64) bool {
+	return a == b /* want `reason "perf" is too short` */ //lint:allow floateq perf
+}
+
+// drifted once compared floats on the next line; the code moved on and the
+// directive now suppresses nothing.
+func drifted(a, b int) bool {
+	/* want `//lint:allow floateq no longer suppresses anything` */ //lint:allow floateq the operands used to be float64 here
+	return a == b
+}

@@ -47,6 +47,18 @@ type Analyzer struct {
 	// given import path. A nil Match applies to every package.
 	Match func(importPath string) bool
 
+	// Collect, when non-nil, runs over every loaded package — regardless of
+	// Match — before any Run, recording cross-package facts into
+	// Pass.Facts. Marker comments (e.g. //lint:pool) are invisible in gc
+	// export data, so this pre-pass is how an analyzer learns about
+	// annotations in packages other than the one it is checking.
+	Collect func(pass *Pass) error
+
+	// Final marks an analyzer that must run after every other analyzer has
+	// finished with the package, with Pass.Supp populated; allowaudit uses
+	// this to see which //lint:allow directives went unused.
+	Final bool
+
 	// Run inspects one package and reports findings via pass.Report.
 	Run func(pass *Pass) error
 }
@@ -63,6 +75,14 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts is the run-wide cross-package fact store, shared by Collect
+	// and Run across every package of one driver invocation.
+	Facts *Facts
+
+	// Supp holds the package's //lint:allow directives with their usage
+	// marks; the driver populates it only for Final analyzers.
+	Supp *Suppressions
 
 	// Report is called for each finding. The driver installs it.
 	Report func(Diagnostic)
@@ -83,11 +103,51 @@ type Diagnostic struct {
 // driver and tests agree on the exact spelling.
 const AllowPrefix = "//lint:allow "
 
+// Facts is a deterministic cross-package fact store: string items grouped
+// under string sections (e.g. section "pool" holding the qualified names
+// of //lint:pool-annotated functions). One Facts value spans a whole
+// driver run; Collect phases write it, Run phases read it.
+type Facts struct {
+	sections map[string]map[string]bool
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{sections: make(map[string]map[string]bool)}
+}
+
+// Add records item under section; duplicates are fine.
+func (f *Facts) Add(section, item string) {
+	m := f.sections[section]
+	if m == nil {
+		m = make(map[string]bool)
+		f.sections[section] = m
+	}
+	m[item] = true
+}
+
+// Has reports whether item was recorded under section.
+func (f *Facts) Has(section, item string) bool {
+	return f.sections[section][item]
+}
+
+// Items returns the section's items in sorted order.
+func (f *Facts) Items(section string) []string {
+	m := f.sections[section]
+	out := make([]string, 0, len(m))
+	for item := range m {
+		out = append(out, item)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // A Directive is one parsed //lint:allow comment.
 type Directive struct {
 	Pos      token.Pos // position of the comment
 	Analyzer string    // analyzer name being allowed
 	Reason   string    // justification; empty is invalid
+	used     bool      // set when the directive suppresses a diagnostic
 }
 
 // Suppressions indexes the //lint:allow directives of one package.
@@ -131,11 +191,40 @@ func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 }
 
 // Allows reports whether a diagnostic from the named analyzer at pos is
-// suppressed by a directive with a non-empty reason.
+// suppressed by a directive with a non-empty reason, marking the directive
+// used. allowaudit later reports the directives no diagnostic touched.
 func (s *Suppressions) Allows(analyzer string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
 	d := s.byKey[suppKey{p.Filename, p.Line, analyzer}]
-	return d != nil && d.Reason != ""
+	if d == nil || d.Reason == "" {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// Unused returns well-formed directives (those Invalid would not report)
+// whose analyzer never produced a diagnostic on the covered lines, sorted
+// by position. Only meaningful after every non-final analyzer has run on
+// the package.
+func (s *Suppressions) Unused(known map[string]bool) []*Directive {
+	var out []*Directive
+	for _, d := range s.all {
+		if d.used || d.Analyzer == "" || d.Reason == "" || !known[d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// Directives returns every parsed directive in position order, for audits
+// that inspect reasons themselves.
+func (s *Suppressions) Directives() []*Directive {
+	out := append([]*Directive(nil), s.all...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }
 
 // Invalid returns directives that are malformed (empty analyzer name or

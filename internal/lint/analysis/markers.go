@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Marker comments let analyzers be table-driven: a line of the form
+// //lint:pool (or //lint:journal) in a function's doc comment enrolls that
+// function in the corresponding analyzer's API table. Markers are
+// harvested by Collect passes because they are invisible in gc export
+// data: a package type-checked against a dependency's compiled export sees
+// none of the dependency's comments.
+
+// HasMarker reports whether the declaration's doc comment contains the
+// marker line (e.g. "//lint:pool").
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectMarked records, under section, the DeclKey of every function in
+// the pass's package whose doc comment carries marker.
+func CollectMarked(pass *Pass, marker, section string) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !HasMarker(fd.Doc, marker) {
+				continue
+			}
+			pass.Facts.Add(section, DeclKey(pass.Pkg.Path(), fd))
+		}
+	}
+}
+
+// DeclKey is the qualified name of a declared function used as the fact
+// currency: "pkgpath.Func" for functions, "pkgpath.Type.Method" for
+// methods (pointer receivers stripped).
+func DeclKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return pkgPath + "." + id.Name + "." + fd.Name.Name
+		}
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+// FuncKey is DeclKey computed from a resolved function object, so call
+// sites can be matched against collected markers.
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// Callee resolves a call expression to the declared function or method it
+// invokes, or nil for interface calls, calls of function values, builtins,
+// and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil // dynamic dispatch: concrete target unknown
+		}
+	}
+	return fn
+}

@@ -1,0 +1,99 @@
+// Package doccheck requires doc comments on the exported API of the
+// operational packages (runner, telemetry, jobs, and the linter itself).
+//
+// It replaces the Makefile's former awk pipeline with the same contract,
+// checked from the AST instead of regexps: every exported top-level
+// function, method on an exported type, type, var, and const needs a doc
+// comment. A grouped var/const/type block is satisfied by one comment on
+// the block; ungrouped declarations need their own. Methods on unexported
+// types are skipped — they are not reachable API.
+package doccheck
+
+import (
+	"go/ast"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the doccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "doccheck",
+	Doc:   "exported identifiers in the operational packages must carry doc comments",
+	Match: scope.Documented,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Doc != nil {
+		return
+	}
+	kind := "function"
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		id, ok := t.(*ast.Ident)
+		if !ok || !id.IsExported() {
+			return // method on an unexported type: not reachable API
+		}
+		kind = "method"
+	}
+	pass.Reportf(fd.Name.Pos(), "exported %s %s has no doc comment", kind, fd.Name.Name)
+}
+
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	// One comment on a grouped block documents the whole group.
+	if d.Doc != nil {
+		return
+	}
+	grouped := d.Lparen.IsValid()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if !grouped && s.Doc == nil && s.Comment == nil {
+				for _, name := range s.Names {
+					if name.IsExported() {
+						pass.Reportf(name.Pos(), "exported %s %s has no doc comment", kindOf(d), name.Name)
+						break // one report per spec line
+					}
+				}
+			}
+			if grouped && s.Doc == nil && s.Comment == nil {
+				for _, name := range s.Names {
+					if name.IsExported() {
+						pass.Reportf(name.Pos(), "exported %s %s has no doc comment (document it or the enclosing block)", kindOf(d), name.Name)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// kindOf names a GenDecl's keyword for diagnostics.
+func kindOf(d *ast.GenDecl) string {
+	return d.Tok.String()
+}

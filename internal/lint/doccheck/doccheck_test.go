@@ -1,0 +1,28 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/doccheck"
+	"dynaspam/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, doccheck.Analyzer, "dynaspam/internal/runner")
+}
+
+func TestScope(t *testing.T) {
+	a := doccheck.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/runner":    true,
+		"dynaspam/internal/telemetry": true,
+		"dynaspam/internal/jobs":      true,
+		"dynaspam/internal/lint/flow": true, // the linter documents itself
+		"dynaspam/internal/ooo":       false,
+		"fmt":                         false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package runner (fixture) exercises doccheck across every declaration
+// kind. Want comments use the /* want */ block form on the offending line,
+// since a trailing line comment would itself count as documentation.
+package runner
+
+// Documented is the correct shape: an exported function with a doc
+// comment.
+func Documented() {}
+
+/* want `exported function Exported has no doc comment` */ func Exported() {}
+
+func internal() {} // unexported: no doc required
+
+// Engine is documented; its methods are exported API and need their own
+// comments.
+type Engine struct{}
+
+// Run is documented.
+func (e *Engine) Run() {}
+
+/* want `exported method Stop has no doc comment` */ func (e *Engine) Stop() {}
+
+type secret struct{}
+
+func (s *secret) Poke() {} // method on an unexported type: not reachable API
+
+/* want `exported type Config has no doc comment` */ type Config struct{}
+
+/* want `exported var Default has no doc comment` */ var Default = Config{}
+
+// limit is unexported and needs nothing.
+var limit = 8
+
+// Tunables are documented as a block; one comment covers the group.
+var (
+	Workers = 4
+	Depth   = 16
+)
+
+const (
+	// ModeFast documents its own spec inside an undocumented block.
+	ModeFast = iota
+	/* want `exported const ModeSlow has no doc comment \(document it or the enclosing block\)` */ ModeSlow
+	modeHidden
+)

@@ -1,0 +1,249 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"dynaspam/internal/lint/astwalk"
+)
+
+// A DefUse holds the reaching-definitions solution for one function: for
+// every identifier use it records which definitions (assignments, short
+// declarations, var declarations) may have produced the value observed.
+// The analysis is a classic forward may-analysis over the CFG with per-
+// block gen/kill sets; parameters and uses with no visible definition get
+// a synthetic nil definition meaning "defined outside the graph".
+type DefUse struct {
+	// reaching maps each use identifier to its reaching definition nodes.
+	// A nil entry in the slice stands for a definition outside the
+	// function body (parameter, closure capture, or the zero value).
+	reaching map[*ast.Ident][]ast.Node
+}
+
+// DefsReaching returns the definitions that may reach the given use, in
+// source order; nil elements mean a definition outside the function body.
+func (d *DefUse) DefsReaching(use *ast.Ident) []ast.Node {
+	return d.reaching[use]
+}
+
+// defSet is the dataflow value: for each variable, the set of definition
+// nodes that may reach a point. The nil node marks an external definition.
+type defSet map[types.Object]map[ast.Node]bool
+
+func (s defSet) clone() defSet {
+	out := make(defSet, len(s))
+	for v, defs := range s {
+		m := make(map[ast.Node]bool, len(defs))
+		for d := range defs {
+			m[d] = true
+		}
+		out[v] = m
+	}
+	return out
+}
+
+// merge unions other into s, reporting whether s changed.
+func (s defSet) merge(other defSet) bool {
+	changed := false
+	for v, defs := range other {
+		m := s[v]
+		if m == nil {
+			m = make(map[ast.Node]bool, len(defs))
+			s[v] = m
+		}
+		for d := range defs {
+			if !m[d] {
+				m[d] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Reaching computes reaching definitions for the local variables of the
+// function c was built from. info supplies the identifier→object
+// resolution; only variables (not constants, functions, or fields) are
+// tracked.
+func Reaching(c *CFG, info *types.Info) *DefUse {
+	du := &DefUse{reaching: make(map[*ast.Ident][]ast.Node)}
+
+	// in[b] is the defSet at block entry. Iterate to fixpoint (the
+	// lattice is finite and merge is monotone), then record per-use
+	// reaching sets in a final pass.
+	in := make([]defSet, len(c.Blocks))
+	for i := range in {
+		in[i] = defSet{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Blocks {
+			out := in[b.Index].clone()
+			for _, n := range b.Nodes {
+				applyDefs(n, info, out, nil)
+			}
+			for _, s := range b.Succs {
+				if in[s.Index].merge(out) {
+					changed = true
+				}
+			}
+		}
+	}
+	// Final pass: replay each block, resolving uses against the running
+	// set.
+	for _, b := range c.Blocks {
+		cur := in[b.Index].clone()
+		for _, n := range b.Nodes {
+			applyDefs(n, info, cur, du)
+		}
+	}
+	return du
+}
+
+// applyDefs walks one statement in evaluation order (uses before the
+// statement's own definitions), recording reaching sets for uses when du
+// is non-nil and then applying the statement's definitions to cur.
+func applyDefs(n ast.Node, info *types.Info, cur defSet, du *DefUse) {
+	// Record uses first: in `x = f(x)`, the RHS x observes the old defs.
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if du != nil {
+			defs := cur[obj]
+			if len(defs) == 0 {
+				du.reaching[id] = []ast.Node{nil}
+				return true
+			}
+			list := make([]ast.Node, 0, len(defs))
+			for d := range defs {
+				list = append(list, d)
+			}
+			sort.Slice(list, func(i, j int) bool {
+				pi, pj := posOf(list[i]), posOf(list[j])
+				return pi < pj
+			})
+			du.reaching[id] = list
+		}
+		return true
+	})
+	// Then kill/gen for definitions in this statement.
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch st := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := defObj(id, info); obj != nil {
+						cur[obj] = map[ast.Node]bool{st: true}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range st.Names {
+				if obj := defObj(id, info); obj != nil {
+					cur[obj] = map[ast.Node]bool{st: true}
+				}
+			}
+		case *ast.FuncLit:
+			return false // nested functions have their own graphs
+		}
+		return true
+	})
+}
+
+// defObj resolves an identifier in defining or assigning position to its
+// variable object.
+func defObj(id *ast.Ident, info *types.Info) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// posOf orders definition nodes, placing the synthetic external definition
+// (nil) first.
+func posOf(n ast.Node) int {
+	if n == nil {
+		return -1
+	}
+	return int(n.Pos())
+}
+
+// Escapes reports whether the variable obj may be aliased or escape within
+// body: its address taken, its value assigned to another variable or into
+// a composite literal/field/map/slice element, passed to a call that
+// allowCall rejects, returned, sent on a channel, or captured by a nested
+// function literal. Analyses tracking obj's lifetime must go silent when
+// this returns true — some alias may legally keep using the value.
+func Escapes(body ast.Node, obj types.Object, info *types.Info, allowCall func(call *ast.CallExpr) bool) bool {
+	escaped := false
+	astwalk.WithParents(body, func(n ast.Node, parents []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return
+		}
+		// Captured by a closure?
+		for _, p := range parents {
+			if _, isLit := p.(*ast.FuncLit); isLit {
+				escaped = true
+				return
+			}
+		}
+		if len(parents) == 0 {
+			return
+		}
+		switch p := parents[len(parents)-1].(type) {
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" {
+				escaped = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == n {
+					if allowCall == nil || !allowCall(p) {
+						escaped = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if rhs == n {
+					escaped = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range p.Values {
+				if v == n {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ReturnStmt, *ast.SendStmt:
+			escaped = true
+		case *ast.IndexExpr:
+			if p.Index != n {
+				// Indexed as a container (v[i]): the element may be
+				// retained elsewhere; conservative escape.
+				escaped = true
+			}
+		}
+	})
+	return escaped
+}

@@ -1,0 +1,65 @@
+package flow
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph as deterministic text for golden tests and
+// debugging: one section per block with its comment, each node printed on
+// one line with its source line number, then the successor list. Example:
+//
+//	func countdown
+//	b0 entry
+//	  L12: n := 10
+//	  succs: b1
+//	b1 for.head
+//	  L13: n > 0
+//	  succs: b3 b2
+//	...
+func Dump(c *CFG, fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", c.Name)
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s\n", b.Index, b.Comment)
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&sb, "  L%d: %s\n", fset.Position(n.Pos()).Line, oneLine(n, fset))
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString("  succs:")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if len(c.Defers) > 0 {
+		sb.WriteString("defers:\n")
+		for _, d := range c.Defers {
+			fmt.Fprintf(&sb, "  L%d: %s\n", fset.Position(d.Pos()).Line, oneLine(d, fset))
+		}
+	}
+	return sb.String()
+}
+
+// oneLine prints a node as a single line, collapsing interior newlines and
+// truncating long renderings so dumps stay readable.
+func oneLine(n ast.Node, fset *token.FileSet) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	fields := strings.Fields(s) // collapse all whitespace runs, incl. newlines
+	s = strings.Join(fields, " ")
+	const max = 80
+	if len(s) > max {
+		s = s[:max-3] + "..."
+	}
+	return s
+}

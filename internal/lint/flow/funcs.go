@@ -1,0 +1,69 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// A Func pairs a function-shaped AST node with a stable display name so
+// analyzers can iterate every graph in a file, including literals nested
+// in declarations.
+type Func struct {
+	// Name is the declared name, or "outer$N" for the N-th function
+	// literal (1-based, lexical order) inside outer.
+	Name string
+	// Node is the *ast.FuncDecl or *ast.FuncLit.
+	Node ast.Node
+	// Body is the function body; nil for bodyless declarations.
+	Body *ast.BlockStmt
+}
+
+// Functions yields every function in the file in lexical order: each
+// top-level declaration followed by the literals nested inside it.
+// Literals outside any declaration (package-level var initializers) are
+// named after the file-level position counter "lit$N".
+func Functions(file *ast.File) []Func {
+	var out []Func
+	topLit := 0
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			out = append(out, Func{Name: d.Name.Name, Node: d, Body: d.Body})
+			if d.Body != nil {
+				out = append(out, literals(d.Name.Name, d.Body)...)
+			}
+		case *ast.GenDecl:
+			ast.Inspect(d, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					topLit++
+					name := fmt.Sprintf("lit$%d", topLit)
+					out = append(out, Func{Name: name, Node: lit, Body: lit.Body})
+					out = append(out, literals(name, lit.Body)...)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// literals collects the function literals directly or transitively nested
+// in body, naming them outer$1, outer$2, ... and recursing with the
+// nested name as the new outer.
+func literals(outer string, body *ast.BlockStmt) []Func {
+	var out []Func
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		lit, ok := node.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		n++
+		name := fmt.Sprintf("%s$%d", outer, n)
+		out = append(out, Func{Name: name, Node: lit, Body: lit.Body})
+		out = append(out, literals(name, lit.Body)...)
+		return false // nested literals handled by the recursive call
+	})
+	return out
+}

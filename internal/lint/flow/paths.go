@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"go/ast"
+)
+
+// point is one position in the graph: just before Nodes[Idx] of Block
+// (Idx == len(Nodes) means the block's end, about to transfer to a
+// successor).
+type point struct {
+	block *Block
+	idx   int
+}
+
+// Find locates the statement-level node containing n: the block and node
+// index whose source span covers n's position. It returns (nil, 0) when n
+// is not in the graph (e.g. a node from another function).
+func (c *CFG) Find(n ast.Node) (*Block, int) {
+	pos := n.Pos()
+	for _, b := range c.Blocks {
+		for i, node := range b.Nodes {
+			if node.Pos() <= pos && pos < node.End() {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// Walk visits every node reachable after `after` (exclusive), in execution
+// order along all paths, calling visit once per node. visit returning
+// false kills the current path at that node: nothing beyond it on that
+// path is visited (other paths may still reach the same nodes). Each block
+// is expanded at most once, which is sound for node-local predicates.
+func (c *CFG) Walk(after ast.Node, visit func(n ast.Node) bool) {
+	b, i := c.Find(after)
+	if b == nil {
+		return
+	}
+	seen := make(map[*Block]bool)
+	var queue []*Block
+	enqueue := func(bs []*Block) {
+		for _, s := range bs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	// Tail of the starting block first.
+	alive := true
+	for j := i + 1; j < len(b.Nodes); j++ {
+		if !visit(b.Nodes[j]) {
+			alive = false
+			break
+		}
+	}
+	if alive {
+		enqueue(b.Succs)
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		alive := true
+		for _, n := range blk.Nodes {
+			if !visit(n) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			enqueue(blk.Succs)
+		}
+	}
+}
+
+// ReachesExitWithout reports whether some path from just after `after` to
+// the exit block contains no node satisfying stop. Callers checking
+// "action X happens on every path before returning" ask for a path
+// *without* X; true means such a path exists and the property fails.
+// Deferred calls are not consulted — they are the caller's to check via
+// CFG.Defers, since they run on every path.
+func (c *CFG) ReachesExitWithout(after ast.Node, stop func(n ast.Node) bool) bool {
+	b, i := c.Find(after)
+	if b == nil {
+		return false
+	}
+	// A block is "blocked" if scanning it front-to-back hits a stop node.
+	blocked := func(blk *Block, from int) bool {
+		for j := from; j < len(blk.Nodes); j++ {
+			if stopIn(blk.Nodes[j], stop) {
+				return true
+			}
+		}
+		return false
+	}
+	if blocked(b, i+1) {
+		return false
+	}
+	seen := map[*Block]bool{}
+	queue := append([]*Block(nil), b.Succs...)
+	for _, s := range b.Succs {
+		seen[s] = true
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if blk == c.Exit {
+			return true
+		}
+		if blocked(blk, 0) {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return false
+}
+
+// PathBetweenWithout reports whether some path from just after `from`
+// reaches `to` without first passing a node satisfying stop. It answers
+// dominance-style questions ("is every occurrence of X between def and use
+// unavoidable?") in the negative direction.
+func (c *CFG) PathBetweenWithout(from, to ast.Node, stop func(n ast.Node) bool) bool {
+	fb, _ := c.Find(from)
+	tb, ti := c.Find(to)
+	if fb == nil || tb == nil {
+		return false
+	}
+	target := tb.Nodes[ti]
+	reached := false
+	c.Walk(from, func(n ast.Node) bool {
+		if reached {
+			return false
+		}
+		if containsNode(n, target) {
+			reached = true
+			return false
+		}
+		return !stopIn(n, stop)
+	})
+	return reached
+}
+
+// stopIn reports whether n or any of its children satisfies stop.
+func stopIn(n ast.Node, stop func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found || m == nil {
+			return false
+		}
+		if stop(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsNode reports whether outer's span covers inner's position (used
+// to recognize a statement holding a target expression).
+func containsNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.Pos() < outer.End()
+}

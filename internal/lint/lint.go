@@ -9,23 +9,42 @@
 //   - wallclock: no time.Now/unseeded math/rand in measured packages
 //   - ctxpoll: unbounded Run loops must poll their context
 //   - floateq: no ==/!= on floats
+//   - usereleased: no reads of a value after it returns to a pool
+//   - lockorder: no mutex acquisition cycles or self-deadlocks
+//   - syncjournal: sync-mode journal writes flushed on every path
+//   - doccheck: exported identifiers in operational packages documented
+//   - allowaudit: //lint:allow escape hatches must stay live and justified
 //
 // Findings are suppressed line-by-line with `//lint:allow <analyzer>
-// <reason>`; a directive without a reason, or naming an unknown analyzer,
-// is itself a finding.
+// <reason>`; a directive without a reason, naming an unknown analyzer, or
+// whose diagnostic no longer fires, is itself a finding.
+//
+// The driver runs in two phases. First every analyzer's Collect pass scans
+// every loaded package for cross-package facts (marker comments like
+// //lint:pool are invisible in export data, so they must be harvested from
+// source). Then per package the regular analyzers run, followed by the
+// Final ones (allowaudit), which see the package's suppression usage.
 package lint
 
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
+	"dynaspam/internal/lint/allowaudit"
 	"dynaspam/internal/lint/analysis"
 	"dynaspam/internal/lint/ctxpoll"
+	"dynaspam/internal/lint/doccheck"
 	"dynaspam/internal/lint/floateq"
 	"dynaspam/internal/lint/load"
+	"dynaspam/internal/lint/lockorder"
 	"dynaspam/internal/lint/mapiter"
 	"dynaspam/internal/lint/mutableglobal"
+	"dynaspam/internal/lint/syncjournal"
+	"dynaspam/internal/lint/usereleased"
 	"dynaspam/internal/lint/wallclock"
 )
 
@@ -37,15 +56,23 @@ func Analyzers() []*analysis.Analyzer {
 		wallclock.Analyzer,
 		ctxpoll.Analyzer,
 		floateq.Analyzer,
+		usereleased.Analyzer,
+		lockorder.Analyzer,
+		syncjournal.Analyzer,
+		doccheck.Analyzer,
+		allowaudit.Analyzer,
 	}
 }
 
 // A Finding is one reported diagnostic with its source analyzer.
 type Finding struct {
-	Position string // file:line:col
-	Message  string
-	Analyzer string
-	pos      int // for stable sorting: token.Pos offset
+	Position string `json:"position"` // file:line:col
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+	pos      int    // for stable sorting: token.Pos offset
 }
 
 // Run loads patterns (relative to dir, "" meaning the current directory),
@@ -57,47 +84,108 @@ func Run(w io.Writer, dir string, patterns []string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Findings carry paths relative to dir (CI annotations and humans both
+	// want repo-relative names, not the loader's absolute ones).
+	base := dir
+	if base == "" {
+		base, _ = os.Getwd()
+	}
+	relative := func(name string) string {
+		if base == "" {
+			return name
+		}
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
 
-	var findings []Finding
-	for _, pkg := range pkgs {
-		supp := analysis.NewSuppressions(pkg.Fset, pkg.Files)
-		for _, d := range supp.Invalid(known) {
-			findings = append(findings, Finding{
-				Position: pkg.Fset.Position(d.Pos).String(),
-				Message:  fmt.Sprintf("malformed directive: want %q with a known analyzer and a non-empty reason", analysis.AllowPrefix+"<analyzer> <reason>"),
-				Analyzer: "directive",
-				pos:      int(d.Pos),
-			})
+	// Phase 1: cross-package fact collection over every loaded package,
+	// in-scope or not — markers can sit next to the API they annotate, in
+	// packages the current patterns do not otherwise check. The analyzer
+	// name set itself is a fact so Final analyzers can audit directives.
+	facts := analysis.NewFacts()
+	for name := range known {
+		facts.Add("analyzer", name)
+	}
+	for _, a := range Analyzers() {
+		if a.Collect == nil {
+			continue
 		}
-		for _, a := range Analyzers() {
-			if !a.Applies(pkg.ImportPath) {
-				continue
-			}
+		for _, pkg := range pkgs {
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 			}
-			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				if supp.Allows(name, d.Pos) {
-					return
+			if err := a.Collect(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s collect on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	// Phase 2: per package, regular analyzers then Final ones, so the
+	// latter observe which //lint:allow directives actually suppressed
+	// something.
+	var findings []Finding
+	for _, pkg := range pkgs {
+		supp := analysis.NewSuppressions(pkg.Fset, pkg.Files)
+		for _, d := range supp.Invalid(known) {
+			p := pkg.Fset.Position(d.Pos)
+			file := relative(p.Filename)
+			findings = append(findings, Finding{
+				Position: fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column),
+				File:     file,
+				Line:     p.Line,
+				Col:      p.Column,
+				Message:  fmt.Sprintf("malformed directive: want %q with a known analyzer and a non-empty reason", analysis.AllowPrefix+"<analyzer> <reason>"),
+				Analyzer: "directive",
+				pos:      int(d.Pos),
+			})
+		}
+		for _, final := range []bool{false, true} {
+			for _, a := range Analyzers() {
+				if a.Final != final || !a.Applies(pkg.ImportPath) {
+					continue
 				}
-				findings = append(findings, Finding{
-					Position: pkg.Fset.Position(d.Pos).String(),
-					Message:  d.Message,
-					Analyzer: name,
-					pos:      int(d.Pos),
-				})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					Facts:     facts,
+				}
+				if final {
+					pass.Supp = supp
+				}
+				name := a.Name
+				pass.Report = func(d analysis.Diagnostic) {
+					if supp.Allows(name, d.Pos) {
+						return
+					}
+					p := pkg.Fset.Position(d.Pos)
+					file := relative(p.Filename)
+					findings = append(findings, Finding{
+						Position: fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column),
+						File:     file,
+						Line:     p.Line,
+						Col:      p.Column,
+						Message:  d.Message,
+						Analyzer: name,
+						pos:      int(d.Pos),
+					})
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+				}
 			}
 		}
 	}

@@ -30,16 +30,31 @@ import (
 	"dynaspam/internal/lint/load"
 )
 
-// Run lints each fixture package under testdata/src and compares the
-// diagnostics against its // want comments.
+// Run lints each fixture package under testdata/src with one analyzer and
+// compares the diagnostics against its // want comments. Analyzers with a
+// Collect phase have it run over the fixture first, so marker comments
+// (//lint:pool, //lint:journal) in the fixture itself are honored.
 func Run(t *testing.T, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
 	for _, path := range importPaths {
-		runOne(t, a, path)
+		runSuiteOne(t, []*analysis.Analyzer{a}, path)
 	}
 }
 
-func runOne(t *testing.T, a *analysis.Analyzer, importPath string) {
+// RunSuite lints each fixture package with a whole analyzer suite, exactly
+// as the real driver does: Collect phases first, then regular analyzers,
+// then Final ones with the package's suppression usage. Diagnostics from
+// every analyzer are matched against the fixture's // want comments;
+// allowaudit fixtures need this, since a directive only counts as used
+// once the suppressed analyzer has actually run.
+func RunSuite(t *testing.T, suite []*analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		runSuiteOne(t, suite, path)
+	}
+}
+
+func runSuiteOne(t *testing.T, suite []*analysis.Analyzer, importPath string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", filepath.FromSlash(importPath))
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
@@ -64,23 +79,47 @@ func runOne(t *testing.T, a *analysis.Analyzer, importPath string) {
 		t.Fatalf("%s: type-checking fixture: %v", importPath, err)
 	}
 
+	facts := analysis.NewFacts()
+	for _, a := range suite {
+		facts.Add("analyzer", a.Name)
+	}
+	supp := analysis.NewSuppressions(fset, files)
 	var diags []analysis.Diagnostic
-	if a.Applies(importPath) {
-		supp := analysis.NewSuppressions(fset, files)
-		pass := &analysis.Pass{
+	newPass := func(a *analysis.Analyzer) *analysis.Pass {
+		return &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       tpkg,
 			TypesInfo: info,
+			Facts:     facts,
 			Report: func(d analysis.Diagnostic) {
 				if !supp.Allows(a.Name, d.Pos) {
 					diags = append(diags, d)
 				}
 			},
 		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("%s: %s: %v", importPath, a.Name, err)
+	}
+	for _, a := range suite {
+		if a.Collect == nil {
+			continue
+		}
+		if err := a.Collect(newPass(a)); err != nil {
+			t.Fatalf("%s: %s collect: %v", importPath, a.Name, err)
+		}
+	}
+	for _, final := range []bool{false, true} {
+		for _, a := range suite {
+			if a.Final != final || !a.Applies(importPath) {
+				continue
+			}
+			pass := newPass(a)
+			if final {
+				pass.Supp = supp
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s: %s: %v", importPath, a.Name, err)
+			}
 		}
 	}
 
@@ -120,7 +159,9 @@ type want struct {
 }
 
 // collectWants parses `// want "rx" ["rx" ...]` comments, keyed by the
-// line they sit on.
+// line they sit on. The block form `/* want "rx" */` is also accepted, for
+// lines whose line-comment slot is taken by a //lint:allow directive under
+// test or where a trailing line comment would itself count as godoc.
 func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
 	t.Helper()
 	wants := make(map[wantKey][]*want)
@@ -129,7 +170,11 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[want
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, "// want ")
 				if !ok {
-					continue
+					rest, ok = strings.CutPrefix(c.Text, "/* want ")
+					if !ok {
+						continue
+					}
+					rest = strings.TrimSuffix(strings.TrimSpace(rest), "*/")
 				}
 				p := fset.Position(c.Pos())
 				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {

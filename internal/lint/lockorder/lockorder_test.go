@@ -1,0 +1,27 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/linttest"
+	"dynaspam/internal/lint/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "dynaspam/internal/telemetry")
+}
+
+func TestScope(t *testing.T) {
+	a := lockorder.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/telemetry": true,
+		"dynaspam/internal/jobs":      true,
+		"dynaspam/internal/ooo":       false, // single-threaded simulator core
+		"dynaspam/internal/runner":    false,
+		"fmt":                         false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package telemetry (fixture) exercises lockorder's two deadlock shapes —
+// self-deadlock and ordering cycles — plus the conservative exclusions
+// (go statements, explicit unlocks, read locks) that keep the real planes
+// clean.
+package telemetry
+
+import "sync"
+
+type tracker struct {
+	mu sync.Mutex
+	n  int
+}
+
+// double re-acquires a mutex the path already holds.
+func (t *tracker) double() {
+	t.mu.Lock()
+	t.mu.Lock() // want `double acquires tracker.mu while a path already holds it`
+	t.n++
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// wake acquires t.mu itself — the historical Tracker.wake shape.
+func (t *tracker) wake() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+// heldCall calls wake while still holding mu: self-deadlock through the
+// call graph.
+func (t *tracker) heldCall() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wake() // want `heldCall calls wake while holding tracker.mu`
+}
+
+// unlockFirst releases before calling wake — the correct shape.
+func (t *tracker) unlockFirst() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+	t.wake()
+}
+
+// spawn launches wake on its own goroutine; no lock is held on that
+// stack, so no report.
+func (t *tracker) spawn() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go t.wake()
+}
+
+// transitive reaches wake through an intermediate hop.
+func (t *tracker) hop() { t.wake() }
+
+func (t *tracker) transitive() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hop() // want `transitive calls hop while holding tracker.mu`
+}
+
+type gauges struct {
+	rw sync.RWMutex
+	v  int
+}
+
+// sharedReaders takes the read lock twice; shared locks coexist, so this
+// is not reported.
+func (g *gauges) sharedReaders() int {
+	g.rw.RLock()
+	g.rw.RLock()
+	v := g.v
+	g.rw.RUnlock()
+	g.rw.RUnlock()
+	return v
+}
+
+type plane struct {
+	qmu sync.Mutex
+	smu sync.Mutex
+}
+
+// lockQS establishes the queue→store order...
+func (p *plane) lockQS() {
+	p.qmu.Lock()
+	p.smu.Lock() // want `lock ordering cycle: plane.qmu→plane.smu→plane.qmu`
+	p.smu.Unlock()
+	p.qmu.Unlock()
+}
+
+// ...and lockSQ inverts it, closing the cycle (reported once, at the
+// lexically first edge in lockQS).
+func (p *plane) lockSQ() {
+	p.smu.Lock()
+	p.qmu.Lock()
+	p.qmu.Unlock()
+	p.smu.Unlock()
+}
+
+// consistent always takes qmu before smu; one-directional edges form no
+// cycle.
+func (p *plane) consistent() {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	p.smu.Lock()
+	defer p.smu.Unlock()
+}

@@ -42,6 +42,30 @@ func Telemetry(path string) bool {
 	return path == Module+"/internal/telemetry"
 }
 
+// Jobs reports whether path is the multi-tenant sweep job plane.
+func Jobs(path string) bool {
+	return path == Module+"/internal/jobs"
+}
+
+// InModule reports whether path is any package of this module, including
+// the linter itself.
+func InModule(path string) bool {
+	return path == Module || strings.HasPrefix(path, Module+"/")
+}
+
+// LockChecked reports whether path carries the static lock-graph
+// invariants: the concurrent service planes (telemetry, jobs) whose
+// tracker/aggregator/queue mutex structure invites ordering cycles.
+func LockChecked(path string) bool {
+	return Telemetry(path) || Jobs(path)
+}
+
+// Documented reports whether path's exported API must carry doc comments
+// (doccheck): the operational service layer plus the linter itself.
+func Documented(path string) bool {
+	return Runner(path) || Telemetry(path) || Jobs(path) || Lint(path)
+}
+
 // Sim reports whether path is one of the measured simulator packages.
 func Sim(path string) bool {
 	for _, s := range simSuffixes {

@@ -22,12 +22,12 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteMetadata pins the suite's shape: five analyzers, unique names,
+// TestSuiteMetadata pins the suite's shape: ten analyzers, unique names,
 // documented, and all scoped (a nil Match would silently lint the world).
 func TestSuiteMetadata(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	if len(as) != 10 {
+		t.Fatalf("suite has %d analyzers, want 10", len(as))
 	}
 	seen := make(map[string]bool)
 	for _, a := range as {

@@ -1,0 +1,27 @@
+package syncjournal_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/linttest"
+	"dynaspam/internal/lint/syncjournal"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, syncjournal.Analyzer, "dynaspam/internal/journalfix")
+}
+
+func TestScope(t *testing.T) {
+	a := syncjournal.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/runner":    true,
+		"dynaspam/internal/jobs":      true,
+		"dynaspam/cmd/dynaspam":       true,
+		"dynaspam/internal/lint/flow": false, // the linter itself is exempt
+		"fmt":                         false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package poolfix exercises usereleased: the pool API is declared in the
+// fixture itself and enrolled with the //lint:pool marker, exactly as
+// Fabric.Release is in the real tree.
+package poolfix
+
+type result struct {
+	n        int
+	branches []int
+}
+
+type pool struct{}
+
+// release returns res to the pool for recycling.
+//
+//lint:pool
+func (p *pool) release(res *result) {}
+
+func fresh() *result { return &result{} }
+
+// useAfterRelease reads a field after the release: the classic bug.
+func useAfterRelease(p *pool, res *result) int {
+	p.release(res)
+	return res.n // want `res is used after being released to the pool`
+}
+
+// storeAfterRelease writes through the released pointer.
+func storeAfterRelease(p *pool, res *result) {
+	p.release(res)
+	res.n = 1 // want `res is used after being released to the pool`
+}
+
+// branchUse releases on one branch only; the join still sees the use.
+func branchUse(p *pool, res *result, done bool) int {
+	if done {
+		p.release(res)
+	}
+	return res.n // want `res is used after being released to the pool`
+}
+
+// doubleRelease passes the value back to the pool twice; the second call
+// is itself a use of recycled memory.
+func doubleRelease(p *pool, res *result) {
+	p.release(res)
+	p.release(res) // want `res is used after being released to the pool`
+}
+
+// loopRelease releases at the bottom of a loop whose next iteration reads
+// the record again.
+func loopRelease(p *pool, items []*result) {
+	res := fresh()
+	for range items {
+		_ = res.n // want `res is used after being released to the pool`
+		p.release(res)
+	}
+}
+
+// releaseLast is the correct shape (core.OnCommit): every read precedes
+// the release.
+func releaseLast(p *pool, res *result) int {
+	n := res.n
+	for _, b := range res.branches {
+		n += b
+	}
+	p.release(res)
+	return n
+}
+
+// reassigned gets a fresh record after the release; later uses are fine.
+func reassigned(p *pool, res *result) int {
+	p.release(res)
+	res = fresh()
+	return res.n
+}
+
+// deferredRelease releases at function exit; the body may keep reading.
+func deferredRelease(p *pool, res *result) int {
+	defer p.release(res)
+	return res.n
+}
+
+// aliased escapes before the release, so another reference may legally
+// outlive it; the analyzer stays silent rather than guess.
+func aliased(p *pool, res *result, keep map[int]*result) int {
+	keep[0] = res
+	p.release(res)
+	return res.n
+}

@@ -1,0 +1,239 @@
+// Package usereleased checks that a value returned to an object pool is
+// never touched again.
+//
+// PR 4's zero-alloc hot path recycles TraceResult records through
+// Fabric.Release; a released record may be handed to another invocation at
+// any time, so a read or store after the release races with the next
+// owner — the classic use-after-free, resurrected by pooling. The rule: on
+// every control-flow path, no use of a variable may follow the call that
+// released it, unless the variable is first reassigned.
+//
+// Pool APIs are table-driven: annotate the releasing function with a
+// //lint:pool line in its doc comment, and every call site in the module
+// is checked. Fabric.Release is also built in, so partial-pattern runs
+// that do not load internal/fabric still check its callers.
+//
+// The analysis is conservative: if the released value is aliased (address
+// taken, assigned to another variable, stored in a composite, passed to a
+// non-pool call, returned, sent, or captured by a closure) the analyzer
+// stays silent, since the alias may legitimately outlive the check.
+// Deferred and `go` releases are skipped — they do not release at their
+// flow position.
+package usereleased
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dynaspam/internal/lint/analysis"
+	"dynaspam/internal/lint/flow"
+	"dynaspam/internal/lint/scope"
+)
+
+// Analyzer is the usereleased pass.
+var Analyzer = &analysis.Analyzer{
+	Name:    "usereleased",
+	Doc:     "a value released to a pool must not be read, written, or re-released afterwards",
+	Match:   scope.Checked,
+	Collect: collect,
+	Run:     run,
+}
+
+// builtinPool seeds the pool API table for runs whose patterns do not load
+// the annotated packages.
+var builtinPool = map[string]bool{
+	"dynaspam/internal/fabric.Fabric.Release": true,
+}
+
+func collect(pass *analysis.Pass) error {
+	analysis.CollectMarked(pass, "//lint:pool", "pool")
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range flow.Functions(f) {
+			if fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isPool reports whether call invokes a pool-release API.
+func isPool(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	key := analysis.FuncKey(fn)
+	return builtinPool[key] || pass.Facts.Has("pool", key)
+}
+
+// checkFunc analyzes one function body (literals are analyzed as their own
+// graphs, so nested literals are skipped here).
+func checkFunc(pass *analysis.Pass, fn flow.Func) {
+	// Pool calls at this function's level, excluding nested literals.
+	var calls []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fn.Node {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPool(pass, call) {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	if len(calls) == 0 {
+		return
+	}
+	cfg := flow.New(fn.Name, fn.Node)
+	deferred := make(map[*ast.CallExpr]bool, len(cfg.Defers))
+	for _, d := range cfg.Defers {
+		deferred[d] = true
+	}
+	for _, call := range calls {
+		if deferred[call] || cfg.GoCalls[call] {
+			continue // releases at exit / on another goroutine
+		}
+		obj := releasedVar(pass, call)
+		if obj == nil || !declaredIn(pass, fn, obj) {
+			continue
+		}
+		if flow.Escapes(fn.Body, obj, pass.TypesInfo, func(c *ast.CallExpr) bool {
+			return isPool(pass, c)
+		}) {
+			continue // aliased: some other reference may legally live on
+		}
+		reportUsesAfter(pass, cfg, call, obj)
+	}
+}
+
+// releasedVar resolves the value a pool call releases — its first
+// argument, or its receiver for argument-less APIs — to a plain variable.
+func releasedVar(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	var expr ast.Expr
+	if len(call.Args) > 0 {
+		expr = call.Args[0]
+	} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		expr = sel.X
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	if obj == nil {
+		return nil
+	}
+	return obj
+}
+
+// declaredIn reports whether obj is declared (as a local or parameter)
+// within fn, so the function's own graph covers the value's whole
+// lifetime.
+func declaredIn(pass *analysis.Pass, fn flow.Func, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Defs[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// reportUsesAfter walks the CFG forward from the release call and reports
+// the first use of obj on each path; reassignment of obj kills the path.
+func reportUsesAfter(pass *analysis.Pass, cfg *flow.CFG, release *ast.CallExpr, obj types.Object) {
+	relLine := pass.Fset.Position(release.Pos()).Line
+	seen := make(map[*ast.Ident]bool)
+	cfg.Walk(release, func(n ast.Node) bool {
+		if use := firstUse(pass, n, obj); use != nil {
+			if !seen[use] {
+				seen[use] = true
+				pass.Reportf(use.Pos(),
+					"%s is used after being released to the pool on line %d; the pool may already have recycled it",
+					use.Name, relLine)
+			}
+			return false // one report per path
+		}
+		if assigns(pass, n, obj) {
+			return false // fresh value: later uses are fine
+		}
+		return true
+	})
+}
+
+// firstUse returns the first read of obj inside n, ignoring
+// assigned-to positions (pure writes) — those are handled by assigns.
+func firstUse(pass *analysis.Pass, n ast.Node, obj types.Object) *ast.Ident {
+	var use *ast.Ident
+	ast.Inspect(n, func(m ast.Node) bool {
+		if use != nil {
+			return false
+		}
+		if as, ok := m.(*ast.AssignStmt); ok {
+			// Check RHS for reads; LHS plain idents are writes, but
+			// anything deeper on the LHS (x.f = ..., x[i] = ...) reads x.
+			for _, r := range as.Rhs {
+				ast.Inspect(r, func(k ast.Node) bool {
+					if use != nil {
+						return false
+					}
+					if id, ok := k.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						use = id
+					}
+					return true
+				})
+			}
+			for _, l := range as.Lhs {
+				if _, plain := ast.Unparen(l).(*ast.Ident); plain {
+					continue
+				}
+				ast.Inspect(l, func(k ast.Node) bool {
+					if use != nil {
+						return false
+					}
+					if id, ok := k.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						use = id
+					}
+					return true
+				})
+			}
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			use = id
+		}
+		return true
+	})
+	return use
+}
+
+// assigns reports whether n reassigns obj as a plain identifier.
+func assigns(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		as, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, l := range as.Lhs {
+			id, plain := ast.Unparen(l).(*ast.Ident)
+			if !plain {
+				continue
+			}
+			if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,28 @@
+package usereleased_test
+
+import (
+	"testing"
+
+	"dynaspam/internal/lint/linttest"
+	"dynaspam/internal/lint/usereleased"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, usereleased.Analyzer, "dynaspam/internal/poolfix")
+}
+
+func TestScope(t *testing.T) {
+	a := usereleased.Analyzer
+	for path, want := range map[string]bool{
+		"dynaspam/internal/fabric":    true,
+		"dynaspam/internal/core":      true,
+		"dynaspam/internal/ooo":       true,
+		"dynaspam/internal/lint/flow": false, // the linter itself is exempt
+		"dynaspam/cmd/dynaspam":       false,
+		"fmt":                         false,
+	} {
+		if got := a.Applies(path); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -70,10 +70,14 @@ const journalFlushBytes = 8 << 10
 
 // NewJournal returns a journal writing to w. The caller retains ownership
 // of w; Close does not close it.
+//
+//lint:journal
 func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 
 // OpenJournal creates (or truncates) the file at path and returns a journal
 // writing to it. Close closes the file.
+//
+//lint:journal
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -86,6 +90,8 @@ func OpenJournal(path string) (*Journal, error) {
 // mode and returns a journal writing to it. A resumed sweep uses this so
 // the entries of its earlier, interrupted attempts are preserved; Close
 // closes the file.
+//
+//lint:journal
 func OpenJournalAppend(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
