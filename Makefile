@@ -8,7 +8,7 @@ GO ?= go
 # Benchmarks covered by the regression gate: the two hot-loop
 # micro-benchmarks plus the end-to-end figure benchmarks whose history
 # BENCH_4.json records.
-BENCH_GATE = BenchmarkCPUStep|BenchmarkFabricInvoke|BenchmarkBaselinePipeline|BenchmarkTraceOverhead
+BENCH_GATE = BenchmarkCPUStep|BenchmarkFabricInvoke|BenchmarkBaselinePipeline|BenchmarkTraceOverhead|BenchmarkSpanOverhead
 
 all: check
 
@@ -64,13 +64,33 @@ figures:
 # and pipeline view twice, require byte-identical files (determinism is a
 # hard contract, see ARCHITECTURE.md "Observability"), validate the JSON
 # shape, and re-parse the pipeline view with the strict cmd/pipeview reader.
+# Then bring up `dynaspam serve`, run one job, and require its span trace
+# (GET /jobs/{id}/trace) to be stable across fetches and pass lint-trace.
 trace-smoke:
-	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
-	$(GO) run ./cmd/dynaspam -bench BP,NW -j 2 -trace "$$dir/a.json" -pipeview "$$dir/a.kanata" >/dev/null && \
-	$(GO) run ./cmd/dynaspam -bench BP,NW -j 1 -trace "$$dir/b.json" -pipeview "$$dir/b.kanata" >/dev/null && \
-	cmp "$$dir/a.json" "$$dir/b.json" && cmp "$$dir/a.kanata" "$$dir/b.kanata" && \
-	grep -q '^{"traceEvents":\[$$' "$$dir/a.json" && \
-	$(GO) run ./cmd/pipeview -validate "$$dir/a.kanata" && \
+	@set -e; dir=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/dynaspam" ./cmd/dynaspam; \
+	"$$dir/dynaspam" -bench BP,NW -j 2 -trace "$$dir/a.json" -pipeview "$$dir/a.kanata" >/dev/null; \
+	"$$dir/dynaspam" -bench BP,NW -j 1 -trace "$$dir/b.json" -pipeview "$$dir/b.kanata" >/dev/null; \
+	cmp "$$dir/a.json" "$$dir/b.json" && cmp "$$dir/a.kanata" "$$dir/b.kanata"; \
+	grep -q '^{"traceEvents":\[$$' "$$dir/a.json"; \
+	"$$dir/dynaspam" lint-trace "$$dir/a.json" >/dev/null; \
+	$(GO) run ./cmd/pipeview -validate "$$dir/a.kanata"; \
+	"$$dir/dynaspam" serve -addr 127.0.0.1:0 -state "$$dir/state" 2>"$$dir/serve.log" & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+	  addr=$$(sed -n 's/.*msg="telemetry listening".*addr=\([0-9.:]*\).*/\1/p' "$$dir/serve.log"); \
+	  [ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "serve never bound:"; cat "$$dir/serve.log"; exit 1; }; \
+	curl -sf -X POST -d '{"bench":"BP,PF"}' "http://$$addr/jobs" | grep -q job-000001; \
+	for i in $$(seq 1 600); do \
+	  curl -sf "http://$$addr/jobs/job-000001" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "http://$$addr/jobs/job-000001/trace" >"$$dir/job.json"; \
+	curl -sf "http://$$addr/jobs/job-000001/trace" >"$$dir/job2.json"; \
+	cmp "$$dir/job.json" "$$dir/job2.json"; \
+	"$$dir/dynaspam" lint-trace "$$dir/job.json" >/dev/null; \
+	grep -q '"name":"journal-flush"' "$$dir/job.json" || { echo "job trace lacks lifecycle spans:"; cat "$$dir/job.json"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
 	echo "trace-smoke OK"
 
 # Live telemetry smoke test: bring up `dynaspam serve` on an ephemeral

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"dynaspam/internal/area"
 	"dynaspam/internal/core"
@@ -36,6 +37,7 @@ import (
 	"dynaspam/internal/probe"
 	"dynaspam/internal/program"
 	"dynaspam/internal/runner"
+	"dynaspam/internal/spans"
 	"dynaspam/internal/stats"
 	"dynaspam/internal/workloads"
 )
@@ -363,5 +365,45 @@ func BenchmarkFabricInvoke(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := f.Run(fabric.Invocation{Cfg: cfg, LiveIns: liveIns, Now: int64(i)}, env)
 		f.Release(&res)
+	}
+}
+
+// BenchmarkSpanOverhead measures the always-on per-job cost of the span
+// tracer on the serving path: one job-shaped tree (lifecycle spans plus
+// eleven annotated cell spans with sim-clock anchors, the Figure 8 sweep
+// shape) recorded per iteration against a deterministic clock. The export
+// path (GET /jobs/{id}/trace) is on-demand and excluded — this is the
+// overhead every job pays whether or not anyone ever fetches its trace.
+func BenchmarkSpanOverhead(b *testing.B) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	clock := func() time.Time {
+		base = base.Add(time.Millisecond)
+		return base
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := spans.NewRecorder(spans.DefaultCapacity, clock)
+		root := rec.Start(-1, "lifecycle", "job job-000001",
+			spans.Label{Key: "job_id", Value: "job-000001"},
+			spans.Label{Key: "run_id", Value: "bench"})
+		queue := rec.Start(root, "lifecycle", "queue-wait")
+		rec.End(queue)
+		admit := rec.Start(root, "lifecycle", "admit")
+		rec.End(admit)
+		run := rec.Start(root, "lifecycle", "run")
+		for c := 0; c < 11; c++ {
+			cell := rec.Start(run, "cell", "cell NW/accel-spec",
+				spans.Label{Key: "cell", Value: "NW/accel-spec"})
+			rec.Annotate(cell, "status", "ok")
+			rec.Annotate(cell, "source", "run")
+			rec.AnchorCycle(cell, "sim-cycle-first", 0)
+			rec.AnchorCycle(cell, "sim-cycle-last", 123456)
+			rec.End(cell)
+		}
+		rec.End(run)
+		flush := rec.Start(root, "lifecycle", "journal-flush")
+		rec.End(flush)
+		rec.End(root)
 	}
 }

@@ -22,6 +22,7 @@
 //	dynaspam -bench all -serve :8080          # live telemetry during the sweep
 //	dynaspam serve -addr :8080 -state dir     # multi-tenant sweep job server
 //	curl -s localhost:8080/metrics | dynaspam lint-metrics
+//	curl -s localhost:8080/jobs/job-000001/trace | dynaspam lint-trace
 //
 // -trace and -pipeview attach a cycle-accurate probe to every simulation
 // and export the recorded events after the sweep; output is deterministic:
@@ -78,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runServe(args[1:], stderr)
 		case "lint-metrics":
 			return runLintMetrics(args[1:], stdout, stderr)
+		case "lint-trace":
+			return runLintTrace(args[1:], stdout, stderr)
 		}
 	}
 	return runSweep(args, stdout, stderr)
@@ -325,6 +328,34 @@ func runLintMetrics(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := telemetry.LintExposition(in); err != nil {
 		fmt.Fprintf(stderr, "lint-metrics: %s: %v\n", name, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "ok")
+	return 0
+}
+
+// runLintTrace validates Chrome trace-event JSON from stdin (or a file
+// argument): `curl -s host/jobs/job-000001/trace | dynaspam lint-trace`.
+// It accepts the exports of both -trace and GET /jobs/{id}/trace.
+func runLintTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynaspam lint-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	}
+	if err := probe.LintChromeTrace(in); err != nil {
+		fmt.Fprintf(stderr, "lint-trace: %s: %v\n", name, err)
 		return 1
 	}
 	fmt.Fprintln(stdout, "ok")

@@ -124,6 +124,28 @@ func TestLintMetricsSubcommand(t *testing.T) {
 	}
 }
 
+func TestLintTraceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"traceEvents":[`+"\n"+
+		`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p"}}`+"\n"+
+		"]}\n"), 0o644)
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"traceEvents": 7}`), 0o644)
+
+	code, stdout, _ := runCLI("lint-trace", good)
+	if code != 0 || !strings.Contains(stdout, "ok") {
+		t.Errorf("lint-trace on valid trace = %d %q", code, stdout)
+	}
+	code, _, stderr := runCLI("lint-trace", bad)
+	if code != 1 || !strings.Contains(stderr, "lint-trace") {
+		t.Errorf("lint-trace on invalid trace = %d %q", code, stderr)
+	}
+	if code, _, _ := runCLI("lint-trace", filepath.Join(dir, "missing.json")); code != 1 {
+		t.Errorf("lint-trace on missing file = %d, want 1", code)
+	}
+}
+
 func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

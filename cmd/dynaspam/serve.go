@@ -49,6 +49,7 @@ func runServe(args []string, stderr io.Writer) int {
 		Aggregator:  tel.Aggregator(),
 		Tracker:     tel.Tracker(),
 		Log:         log,
+		RunID:       runID,
 	})
 	if err != nil {
 		log.Error("job plane init failed", "err", err)

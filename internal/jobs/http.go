@@ -1,9 +1,15 @@
 package jobs
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 
+	"dynaspam/internal/probe"
+	"dynaspam/internal/spans"
 	"dynaspam/internal/telemetry"
 )
 
@@ -100,15 +106,19 @@ func (p *Plane) List() []View {
 // the plane's queue and cache counters into /metrics. Must be called
 // before the server starts.
 //
-//	POST   /jobs       submit a Spec (JSON body) → 202 + {"id": ...}
-//	GET    /jobs       list all jobs, submission order
-//	GET    /jobs/{id}  one job with per-cell progress and ETA
-//	DELETE /jobs/{id}  cancel (queued: immediate; running: via context)
+//	POST   /jobs               submit a Spec (JSON body) → 202 + {"id": ...}
+//	GET    /jobs               list all jobs, submission order
+//	GET    /jobs/{id}          one job with per-cell progress and ETA
+//	DELETE /jobs/{id}          cancel (queued: immediate; running: via context)
+//	GET    /jobs/{id}/trace    the job's span tree as Chrome trace JSON
+//	GET    /jobs/{id}/profile  on-demand pprof scoped to a running job
 func (p *Plane) Mount(tel *telemetry.Server) {
 	tel.Handle("POST /jobs", http.HandlerFunc(p.handleSubmit))
 	tel.Handle("GET /jobs", http.HandlerFunc(p.handleList))
 	tel.Handle("GET /jobs/{id}", http.HandlerFunc(p.handleGet))
 	tel.Handle("DELETE /jobs/{id}", http.HandlerFunc(p.handleCancel))
+	tel.Handle("GET /jobs/{id}/trace", http.HandlerFunc(p.handleTrace))
+	tel.Handle("GET /jobs/{id}/profile", http.HandlerFunc(p.handleProfile))
 	tel.AddExtra(p.metricFamilies)
 }
 
@@ -168,6 +178,94 @@ func (p *Plane) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, v)
 }
 
+// handleTrace implements GET /jobs/{id}/trace: the job's span tree
+// rendered as one Chrome trace-event JSON document (open it in Perfetto).
+// The export is a pure function of the job's recorded spans, so repeated
+// GETs of an untouched job return byte-identical documents. Jobs recovered
+// already-terminal have no recorder (their lifecycle ran in a dead
+// process) and answer 404.
+func (p *Plane) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	var rec *spans.Recorder
+	if ok {
+		rec = j.rec
+	}
+	p.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if rec == nil {
+		http.Error(w, "no trace recorded for this job", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := spans.WriteChromeTrace(&buf, id, rec.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleProfile implements GET /jobs/{id}/profile?kind=cpu|heap&seconds=N:
+// an on-demand pprof capture scoped to a running job. kind defaults to
+// cpu, seconds to 5 (clamped to 1..30 by validation); a CPU capture ends
+// early if the job finishes, so the profile covers the job and nothing
+// after it. 409 when the job is not running or another CPU capture is
+// active.
+func (p *Plane) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	var state string
+	var done chan struct{}
+	if ok {
+		state = j.state
+		done = j.done
+	}
+	p.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if state != StateRunning {
+		http.Error(w, "job is not running (state "+state+")", http.StatusConflict)
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "cpu"
+	}
+	if kind != "cpu" && kind != "heap" {
+		http.Error(w, "kind must be cpu or heap", http.StatusBadRequest)
+		return
+	}
+	seconds := 5
+	if s := r.URL.Query().Get("seconds"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 30 {
+			http.Error(w, "seconds must be an integer in 1..30", http.StatusBadRequest)
+			return
+		}
+		seconds = n
+	}
+	var buf bytes.Buffer
+	if err := telemetry.CaptureProfile(r.Context(), &buf, kind, seconds, done); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, telemetry.ErrCPUProfileBusy) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"-"+kind+".pprof"))
+	_, _ = w.Write(buf.Bytes())
+}
+
 // metricFamilies renders the plane's own counters for /metrics.
 func (p *Plane) metricFamilies() []telemetry.ExtraFamily {
 	p.mu.Lock()
@@ -178,6 +276,8 @@ func (p *Plane) metricFamilies() []telemetry.ExtraFamily {
 		counts[p.jobs[id].state]++
 	}
 	submitted := len(p.order)
+	queueWait := cloneHist(p.queueWait)
+	turnaround := cloneHist(p.turnaround)
 	p.mu.Unlock()
 	hits, misses, entries := p.cache.Stats()
 
@@ -199,5 +299,20 @@ func (p *Plane) metricFamilies() []telemetry.ExtraFamily {
 			Samples: []telemetry.ExtraSample{{Value: float64(misses)}}},
 		{Name: "dynaspam_job_cache_entries", Help: "Cells currently memoized.", Type: "gauge",
 			Samples: []telemetry.ExtraSample{{Value: float64(entries)}}},
+		{Name: "dynaspam_job_queue_wait_seconds", Help: "Seconds jobs spent queued before admission, from the queue-wait span of each job's trace.", Type: "histogram",
+			Hist: queueWait},
+		{Name: "dynaspam_job_turnaround_seconds", Help: "Seconds from job submission to its terminal state, from the root span of each job's trace.", Type: "histogram",
+			Hist: turnaround},
+	}
+}
+
+// cloneHist snapshots a latency histogram under the plane lock, since the
+// /metrics scrape renders concurrently with span finalization.
+func cloneHist(h *probe.Histogram) probe.Histogram {
+	return probe.Histogram{
+		Bounds:       append([]float64(nil), h.Bounds...),
+		BucketCounts: append([]uint64(nil), h.BucketCounts...),
+		Count:        h.Count,
+		Sum:          h.Sum,
 	}
 }

@@ -35,10 +35,12 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"time"
 
 	"dynaspam/internal/experiments"
 	"dynaspam/internal/probe"
 	"dynaspam/internal/runner"
+	"dynaspam/internal/spans"
 	"dynaspam/internal/telemetry"
 	"dynaspam/internal/workloads"
 )
@@ -80,6 +82,18 @@ type Config struct {
 	Log *slog.Logger
 	// Version keys the memo cache; empty means CodeVersion().
 	Version string
+	// RunID labels each job's span tree (and GET /jobs/{id}/trace) with
+	// the serving process's run identity.
+	RunID string
+	// SpanCap bounds each job's span ring; values <= 0 mean
+	// spans.DefaultCapacity.
+	SpanCap int
+	// Now is the clock the span tracer reads; nil means the wall clock.
+	// The jobs package itself never reads a clock — all host timing lives
+	// in the injected-clock spans.Recorder — which keeps this package
+	// wallclock-clean under dynalint and makes job traces reproducible in
+	// tests.
+	Now func() time.Time
 }
 
 // cellState is one cell's progress within a job, as reported by
@@ -104,6 +118,18 @@ type job struct {
 	userCancel bool
 	done       chan struct{} // closed when the job reaches a terminal state
 
+	// Span tracing: one Recorder per job (internally synchronized), plus
+	// the IDs of the open lifecycle spans. rec is nil for jobs recovered
+	// already-terminal — their lifecycle happened in a dead process, so
+	// there is nothing truthful to trace. queueWaitMS is latched when the
+	// job is admitted, for the terminal lifecycle log record.
+	rec         *spans.Recorder
+	rootSpan    int
+	queueSpan   int
+	runSpan     int
+	cellSpans   []int
+	queueWaitMS float64
+
 	// resume state populated by recovery
 	replayed []runner.Entry
 }
@@ -119,6 +145,11 @@ type Plane struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// Latency histograms derived from the span trees (seconds); guarded
+	// by mu and exposed on /metrics via metricFamilies.
+	queueWait  *probe.Histogram
+	turnaround *probe.Histogram
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -157,6 +188,8 @@ func New(cfg Config) (*Plane, error) {
 		version:    version,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		queueWait:  newHistogram(0.001, 0.01, 0.1, 1, 10, 60, 600),
+		turnaround: newHistogram(0.01, 0.1, 1, 10, 60, 600, 3600),
 		jobs:       make(map[string]*job),
 	}
 	if err := p.recoverLocked(); err != nil {
@@ -164,6 +197,35 @@ func New(cfg Config) (*Plane, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// newHistogram builds a fixed-bucket seconds histogram for the latency
+// families (le semantics, like every probe histogram).
+func newHistogram(bounds ...float64) *probe.Histogram {
+	return &probe.Histogram{Bounds: bounds, BucketCounts: make([]uint64, len(bounds))}
+}
+
+// startSpans opens a job's trace: the root span (carrying the job's
+// identity labels) and the queue-wait child. Called at submission — and at
+// recovery for interrupted jobs, whose renewed wait in this process's
+// queue is exactly what the reopened queue-wait span should measure.
+func (p *Plane) startSpans(j *job) {
+	mode := j.spec.Mode
+	if mode == "" {
+		mode = "accel-spec"
+	}
+	j.rec = spans.NewRecorder(p.cfg.SpanCap, p.cfg.Now)
+	j.rootSpan = j.rec.Start(-1, "job", "job "+j.id,
+		spans.Label{Key: "job_id", Value: j.id},
+		spans.Label{Key: "run_id", Value: p.cfg.RunID},
+		spans.Label{Key: "bench", Value: j.spec.Bench},
+		spans.Label{Key: "mode", Value: mode})
+	j.queueSpan = j.rec.Start(j.rootSpan, "lifecycle", "queue-wait")
+	j.runSpan = -1
+	j.cellSpans = make([]int, len(j.cells))
+	for i := range j.cellSpans {
+		j.cellSpans[i] = -1
+	}
 }
 
 // maxJobs returns the effective concurrency bound.
@@ -198,6 +260,7 @@ func (p *Plane) recoverLocked() error {
 			continue
 		}
 		j.state = StateQueued
+		p.startSpans(j)
 		p.queue = append(p.queue, r.id)
 		p.log.Info("job recovered", "job", r.id, "replayed_cells", len(r.entries))
 	}
@@ -286,6 +349,7 @@ func (p *Plane) Submit(spec Spec) (string, error) {
 	}
 	j := &job{id: id, spec: spec, state: StateQueued, done: make(chan struct{})}
 	j.cells = makeCells(ws, spec)
+	p.startSpans(j)
 	p.jobs[id] = j
 	p.order = append(p.order, id)
 	p.queue = append(p.queue, id)
@@ -304,6 +368,18 @@ func (p *Plane) maybeStartLocked() {
 		ctx, cancel := context.WithCancel(p.baseCtx)
 		j.state = StateRunning
 		j.cancel = cancel
+		// Admission closes the queue-wait span (feeding the queue-wait
+		// histogram), stamps a zero-width admit marker, and opens the run
+		// span — all before the worker goroutine exists, so the reporter's
+		// callbacks always see a live run span.
+		j.rec.End(j.queueSpan)
+		if d, ok := j.rec.Duration(j.queueSpan); ok {
+			p.queueWait.Observe(d.Seconds())
+			j.queueWaitMS = float64(d.Microseconds()) / 1e3
+		}
+		admit := j.rec.Start(j.rootSpan, "lifecycle", "admit")
+		j.rec.End(admit)
+		j.runSpan = j.rec.Start(j.rootSpan, "lifecycle", "run")
 		p.running++
 		p.wg.Add(1)
 		go p.runJob(ctx, j)
@@ -341,15 +417,41 @@ func (p *Plane) Cancel(id string) bool {
 }
 
 // finishLocked records a terminal state and releases waiters; the caller
-// holds mu and has already set any queue/running bookkeeping.
+// holds mu and has already set any queue/running bookkeeping. It also
+// closes the job's span tree (idempotently — cancel-before-start jobs
+// still have their queue-wait span open, finished ones only the root) and
+// derives the turnaround histogram and lifecycle log fields from it.
 func (p *Plane) finishLocked(j *job, state, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
+	var runMS float64
+	if j.rec != nil {
+		j.rec.End(j.queueSpan)
+		j.rec.End(j.runSpan)
+		if d, ok := j.rec.Duration(j.runSpan); ok {
+			runMS = float64(d.Microseconds()) / 1e3
+		}
+		j.rec.Annotate(j.rootSpan, "state", state)
+		if errMsg != "" {
+			j.rec.Annotate(j.rootSpan, "error", errMsg)
+		}
+		j.rec.End(j.rootSpan)
+		if d, ok := j.rec.Duration(j.rootSpan); ok {
+			p.turnaround.Observe(d.Seconds())
+		}
+	}
+	cached := 0
+	for _, c := range j.cells {
+		if c.Source == SourceCache {
+			cached++
+		}
+	}
 	if err := p.store.writeTerminal(j.id, state, errMsg); err != nil {
 		p.log.Error("job terminal marker failed", "job", j.id, "err", err)
 	}
 	close(j.done)
-	p.log.Info("job finished", "job", j.id, "state", state)
+	p.log.Info("job finished", "job", j.id, "state", state,
+		"queue_wait_ms", j.queueWaitMS, "run_ms", runMS, "cells_cached", cached)
 }
 
 // Done returns a channel closed when the job reaches a terminal state;
@@ -481,9 +583,11 @@ func (p *Plane) runSweep(ctx context.Context, j *job) error {
 	}
 	_, runErr := runner.RunResume(ctx, opts, cells, mask)
 	if journal != nil {
+		flush := j.rec.Start(j.rootSpan, "lifecycle", "journal-flush")
 		if err := journal.Close(); err != nil && runErr == nil {
 			runErr = err
 		}
+		j.rec.End(flush)
 	}
 	return runErr
 }
@@ -498,10 +602,12 @@ func (p *Plane) setCellSource(j *job, seq int, source string) {
 	}
 }
 
-// jobReporter tees runner callbacks into the job's cell table and the
-// telemetry Tracker. On SweepStart it synthesizes RunDone events for
-// cells already completed in a previous attempt, so the Tracker's done
-// counts and ETA reflect true remaining work.
+// jobReporter tees runner callbacks into the job's cell table, the job's
+// span tree, and the telemetry Tracker. On SweepStart it synthesizes
+// RunDone events for cells already completed in a previous attempt, so the
+// Tracker's done counts and ETA reflect true remaining work — and records
+// those replayed cells as pre-closed spans, so the trace attributes every
+// cell to run, cache, or journal.
 type jobReporter struct {
 	plane *Plane
 	job   *job
@@ -509,9 +615,20 @@ type jobReporter struct {
 }
 
 func (r *jobReporter) SweepStart(name string, total int) {
+	j := r.job
+	for _, e := range j.replayed {
+		if e.Status == runner.StatusOK && e.Seq >= 0 && e.Seq < total {
+			id := j.rec.Start(j.runSpan, "cell", "cell "+e.Label,
+				spans.Label{Key: "cell", Value: e.Label})
+			j.rec.Annotate(id, "status", e.Status)
+			j.rec.Annotate(id, "source", SourceJournal)
+			anchorCycles(j.rec, id, e.Metrics)
+			j.rec.End(id)
+		}
+	}
 	if r.inner != nil {
 		r.inner.SweepStart(name, total)
-		for _, e := range r.job.replayed {
+		for _, e := range j.replayed {
 			if e.Status == runner.StatusOK && e.Seq >= 0 && e.Seq < total {
 				r.inner.RunDone(e)
 			}
@@ -519,8 +636,26 @@ func (r *jobReporter) SweepStart(name string, total int) {
 	}
 }
 
+// RunStart implements runner.RunStarter: it opens the cell's span the
+// moment a worker picks the cell up, so queue-side gaps between cells are
+// visible in the trace.
+func (r *jobReporter) RunStart(sweep string, seq int, label string) {
+	p, j := r.plane, r.job
+	p.mu.Lock()
+	if j.rec != nil && seq >= 0 && seq < len(j.cellSpans) {
+		j.cellSpans[seq] = j.rec.Start(j.runSpan, "cell", "cell "+label,
+			spans.Label{Key: "cell", Value: label})
+	}
+	p.mu.Unlock()
+	if s, ok := r.inner.(runner.RunStarter); ok {
+		s.RunStart(sweep, seq, label)
+	}
+}
+
 func (r *jobReporter) RunDone(e runner.Entry) {
 	p, j := r.plane, r.job
+	span := -1
+	source := ""
 	p.mu.Lock()
 	if e.Seq >= 0 && e.Seq < len(j.cells) {
 		c := &j.cells[e.Seq]
@@ -529,11 +664,37 @@ func (r *jobReporter) RunDone(e runner.Entry) {
 		if c.Source == "" {
 			c.Source = SourceRun
 		}
+		source = c.Source
+	}
+	if e.Seq >= 0 && e.Seq < len(j.cellSpans) {
+		span = j.cellSpans[e.Seq]
 	}
 	p.mu.Unlock()
+	if span >= 0 {
+		j.rec.Annotate(span, "status", e.Status)
+		j.rec.Annotate(span, "source", source)
+		if e.Status == runner.StatusOK {
+			anchorCycles(j.rec, span, e.Metrics)
+		}
+		j.rec.End(span)
+	}
 	if r.inner != nil {
 		r.inner.RunDone(e)
 	}
+}
+
+// anchorCycles records a cell span's sim-clock anchors from its journal
+// metrics: the first simulated cycle is always 0 (every cell boots its own
+// core.System), the last is the cell's reported cycle count. The anchors
+// are what let a wall-clock job trace link down to the cycle-level
+// `dynaspam -trace` view of the same cell.
+func anchorCycles(rec *spans.Recorder, span int, metrics map[string]float64) {
+	cycles, ok := metrics["cycles"]
+	if !ok || cycles < 0 {
+		return
+	}
+	rec.AnchorCycle(span, "sim-cycle-first", 0)
+	rec.AnchorCycle(span, "sim-cycle-last", uint64(cycles))
 }
 
 func (r *jobReporter) SweepEnd(name string) {

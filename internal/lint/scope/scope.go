@@ -47,6 +47,14 @@ func Jobs(path string) bool {
 	return path == Module+"/internal/jobs"
 }
 
+// Spans reports whether path is the wall-clock span tracer. Like the
+// runner and telemetry it times the host process (job lifecycles), never
+// the simulated machine, so it is allowlisted for wall-clock reads; the
+// jobs plane stays clock-free by injecting its clock through this package.
+func Spans(path string) bool {
+	return path == Module+"/internal/spans"
+}
+
 // InModule reports whether path is any package of this module, including
 // the linter itself.
 func InModule(path string) bool {
@@ -57,13 +65,13 @@ func InModule(path string) bool {
 // invariants: the concurrent service planes (telemetry, jobs) whose
 // tracker/aggregator/queue mutex structure invites ordering cycles.
 func LockChecked(path string) bool {
-	return Telemetry(path) || Jobs(path)
+	return Telemetry(path) || Jobs(path) || Spans(path)
 }
 
 // Documented reports whether path's exported API must carry doc comments
 // (doccheck): the operational service layer plus the linter itself.
 func Documented(path string) bool {
-	return Runner(path) || Telemetry(path) || Jobs(path) || Lint(path)
+	return Runner(path) || Telemetry(path) || Jobs(path) || Spans(path) || Lint(path)
 }
 
 // Sim reports whether path is one of the measured simulator packages.

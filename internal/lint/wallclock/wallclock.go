@@ -9,10 +9,10 @@
 // available, as does all of time's arithmetic on values obtained outside
 // the simulator.
 //
-// The runner's progress/ETA display and the live telemetry plane
-// (internal/telemetry: scrape timing, sweep ETAs, runtime sampling) are
-// allowlisted via scoping: they measure the host process, not the
-// simulated machine.
+// The runner's progress/ETA display, the live telemetry plane
+// (internal/telemetry: scrape timing, sweep ETAs, runtime sampling) and
+// the span tracer (internal/spans: job lifecycle timing) are allowlisted
+// via scoping: they measure the host process, not the simulated machine.
 package wallclock
 
 import (
@@ -28,7 +28,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc:  "forbid time.Now/unseeded math/rand in simulator packages (results must be pure functions of inputs)",
 	Match: func(path string) bool {
-		return scope.Checked(path) && !scope.Runner(path) && !scope.Telemetry(path)
+		return scope.Checked(path) && !scope.Runner(path) && !scope.Telemetry(path) && !scope.Spans(path)
 	},
 	Run: run,
 }

@@ -1,9 +1,7 @@
 package probe
 
 import (
-	"bufio"
 	"container/heap"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -57,50 +55,23 @@ const (
 	tidInvocBase = 1000 // invocation lanes: tidInvocBase+lane
 )
 
-// chromeEvent is one trace-event JSON object. Field order is the emission
-// order; map-valued Args serialize with sorted keys.
-type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Cat  string         `json:"cat,omitempty"`
-	Ts   uint64         `json:"ts"`
-	Dur  uint64         `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
-}
+// chromeEvent aliases the exported ChromeEvent (stream.go); the cycle-level
+// exporter below predates the exported streaming API and keeps its short
+// internal name.
+type chromeEvent = ChromeEvent
 
 // WriteChromeTrace writes the runs as one Chrome trace-event JSON document.
 func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
-		return err
-	}
-	first := true
-	emit := func(ev chromeEvent) error {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return err
-		}
-		if !first {
-			if _, err := bw.WriteString(",\n"); err != nil {
-				return err
-			}
-		}
-		first = false
-		_, err = bw.Write(b)
+	s, err := NewChromeStream(w)
+	if err != nil {
 		return err
 	}
 	for i, run := range runs {
-		if err := emitRun(emit, run, i+1); err != nil {
+		if err := emitRun(s.Emit, run, i+1); err != nil {
 			return err
 		}
 	}
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return s.Close()
 }
 
 func emitRun(emit func(chromeEvent) error, run TraceRun, pid int) error {
@@ -125,7 +96,7 @@ func emitRun(emit func(chromeEvent) error, run TraceRun, pid int) error {
 
 	// Pipeline slices: lane-assign, then emit grouped by lane so each
 	// thread's events are time-ordered.
-	pipeLanes := assignLanes(len(instOrder), func(i int) (uint64, uint64) {
+	pipeLanes := AssignLanes(len(instOrder), func(i int) (uint64, uint64) {
 		r := instOrder[i]
 		return r.fetch, sliceEnd(r.fetch, r.end)
 	})
@@ -161,7 +132,7 @@ func emitRun(emit func(chromeEvent) error, run TraceRun, pid int) error {
 	}
 
 	// Invocation slices.
-	invocLanes := assignLanes(len(invocOrder), func(i int) (uint64, uint64) {
+	invocLanes := AssignLanes(len(invocOrder), func(i int) (uint64, uint64) {
 		v := invocOrder[i]
 		return v.inject, sliceEnd(v.inject, v.end)
 	})
@@ -285,10 +256,12 @@ func (h laneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *laneHeap) Push(x any)   { *h = append(*h, x.(laneSlot)) }
 func (h *laneHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// assignLanes greedily packs n intervals (given by span, in start order)
+// AssignLanes greedily packs n intervals (given by span, in start order)
 // onto the fewest lanes such that no two overlapping intervals share a
-// lane. Returns each interval's lane.
-func assignLanes(n int, span func(i int) (start, end uint64)) []int {
+// lane, returning each interval's lane. Exported for the other exporters
+// of overlapping lifetimes (internal/spans packs concurrent sweep cells
+// with it); assignment is deterministic in the intervals' values.
+func AssignLanes(n int, span func(i int) (start, end uint64)) []int {
 	lanes := make([]int, n)
 	// Intervals must be processed in start order; the builders append in
 	// event order, which is start order, but sort defensively by (start,

@@ -226,7 +226,7 @@ func TestParsePipeViewRejectsGarbage(t *testing.T) {
 
 func TestAssignLanesNoOverlap(t *testing.T) {
 	spans := [][2]uint64{{0, 10}, {1, 5}, {2, 3}, {5, 8}, {10, 12}, {3, 4}}
-	lanes := assignLanes(len(spans), func(i int) (uint64, uint64) { return spans[i][0], spans[i][1] })
+	lanes := AssignLanes(len(spans), func(i int) (uint64, uint64) { return spans[i][0], spans[i][1] })
 	for i := range spans {
 		for j := i + 1; j < len(spans); j++ {
 			if lanes[i] != lanes[j] {

@@ -1,0 +1,168 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file owns the repo's Chrome trace-event streaming conventions, so
+// every exporter that speaks the format (the probe's own cycle-level
+// WriteChromeTrace, the job plane's wall-clock span export in
+// internal/spans) produces documents with the same framing, the same
+// field order, and therefore the same determinism guarantees.
+
+// ChromeEvent is one trace-event JSON object in the Chrome trace-event
+// specification's JSON Object Format. Field order is the emission order;
+// map-valued Args serialize with sorted keys, so a ChromeEvent's bytes
+// are a pure function of its values.
+type ChromeEvent struct {
+	// Name labels the event (slice text, counter name, metadata kind).
+	Name string `json:"name"`
+	// Ph is the event phase: "X" complete slice, "i" instant, "C"
+	// counter, "M" metadata.
+	Ph string `json:"ph"`
+	// Cat is the slice category shown by Perfetto's filters.
+	Cat string `json:"cat,omitempty"`
+	// Ts is the event timestamp in trace microseconds.
+	Ts uint64 `json:"ts"`
+	// Dur is an "X" slice's duration in trace microseconds.
+	Dur uint64 `json:"dur,omitempty"`
+	// Pid is the Perfetto process the event belongs to.
+	Pid int `json:"pid"`
+	// Tid is the thread (lane) within the process.
+	Tid int `json:"tid"`
+	// S is an instant event's scope ("t" = thread).
+	S string `json:"s,omitempty"`
+	// Args carries event details; keys render sorted.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeStream incrementally writes a {"traceEvents": [...]} document:
+// NewChromeStream emits the opening framing, each Emit appends one
+// comma-separated event line, and Close writes the trailer and flushes.
+// Write errors are sticky — the first one is remembered and returned from
+// every subsequent call — so callers may emit unconditionally and check
+// once at Close.
+type ChromeStream struct {
+	bw    *bufio.Writer
+	first bool
+	err   error
+}
+
+// NewChromeStream opens a trace document on w and returns the stream.
+func NewChromeStream(w io.Writer) (*ChromeStream, error) {
+	s := &ChromeStream{bw: bufio.NewWriter(w), first: true}
+	if _, err := s.bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		s.err = err
+		return s, err
+	}
+	return s, nil
+}
+
+// Emit appends one event to the document.
+func (s *ChromeStream) Emit(ev ChromeEvent) error {
+	if s.err != nil {
+		return s.err
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if !s.first {
+		if _, err := s.bw.WriteString(",\n"); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	s.first = false
+	if _, err := s.bw.Write(b); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close writes the document trailer and flushes the buffered bytes,
+// returning the first error of the stream's lifetime.
+func (s *ChromeStream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.bw.WriteString("\n]}\n"); err != nil {
+		s.err = err
+		return err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// chromePhases are the event phases the repo's exporters emit (and
+// therefore the only ones LintChromeTrace accepts).
+var chromePhases = map[string]bool{"X": true, "i": true, "C": true, "M": true}
+
+// LintChromeTrace structurally validates a Chrome trace-event JSON
+// document produced under this repo's conventions: a {"traceEvents":
+// [...]} object whose events carry a name, a known phase, positive pids;
+// "X" slices must have a non-zero duration, "i" instants thread scope,
+// and every pid that has data events must carry a process_name metadata
+// record. It returns the first violation, or nil for a clean document.
+//
+// This is the check behind `dynaspam lint-trace` and the trace-smoke CI
+// step; like LintExposition it re-parses the document independently of
+// the writer, so a writer bug cannot lint itself clean.
+func LintChromeTrace(r io.Reader) error {
+	var doc struct {
+		TraceEvents []ChromeEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("probe: trace document does not parse: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("probe: trace document has no traceEvents")
+	}
+	named := make(map[int]bool) // pids with a process_name record
+	data := make(map[int]bool)  // pids with data (non-metadata) events
+	var pids []int
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("probe: trace event %d has no name", i)
+		}
+		if !chromePhases[ev.Ph] {
+			return fmt.Errorf("probe: trace event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Pid <= 0 {
+			return fmt.Errorf("probe: trace event %d (%s) has non-positive pid %d", i, ev.Name, ev.Pid)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				if name, _ := ev.Args["name"].(string); name == "" {
+					return fmt.Errorf("probe: trace event %d: process_name metadata without an args name", i)
+				}
+				named[ev.Pid] = true
+			}
+		case "X":
+			if ev.Dur == 0 {
+				return fmt.Errorf("probe: trace event %d (%s) is an X slice with zero duration", i, ev.Name)
+			}
+			fallthrough
+		default:
+			if !data[ev.Pid] {
+				data[ev.Pid] = true
+				pids = append(pids, ev.Pid)
+			}
+		}
+		if ev.Ph == "i" && ev.S != "t" {
+			return fmt.Errorf("probe: trace event %d (%s) is an instant without thread scope", i, ev.Name)
+		}
+	}
+	for _, pid := range pids {
+		if !named[pid] {
+			return fmt.Errorf("probe: pid %d has data events but no process_name metadata", pid)
+		}
+	}
+	return nil
+}

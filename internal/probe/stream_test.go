@@ -1,0 +1,69 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChromeStreamFraming locks the document framing: header line, one
+// event per line with comma separators, trailer — the exact bytes
+// WriteChromeTrace has always produced.
+func TestChromeStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewChromeStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit(ChromeEvent{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "run"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit(ChromeEvent{Name: "a", Ph: "X", Ts: 1, Dur: 2, Pid: 1, Tid: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "{\"traceEvents\":[\n" +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"run"}}` + ",\n" +
+		`{"name":"a","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}` + "\n]}\n"
+	if got != want {
+		t.Fatalf("stream bytes:\n got %q\nwant %q", got, want)
+	}
+	if err := LintChromeTrace(strings.NewReader(got)); err != nil {
+		t.Fatalf("stream output fails its own lint: %v", err)
+	}
+}
+
+// TestLintChromeTrace exercises the validator's rejection paths.
+func TestLintChromeTrace(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"empty", `{"traceEvents":[]}`, "no traceEvents"},
+		{"not json", `nope`, "does not parse"},
+		{"unnamed", `{"traceEvents":[{"ph":"i","pid":1,"s":"t"}]}`, "has no name"},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"B","pid":1}]}`, "unknown phase"},
+		{"bad pid", `{"traceEvents":[{"name":"x","ph":"i","pid":0,"s":"t"}]}`, "non-positive pid"},
+		{"zero-width slice", `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1}]}`, "zero duration"},
+		{"unscoped instant", `{"traceEvents":[{"name":"x","ph":"i","pid":1}]}`, "without thread scope"},
+		{"anonymous process", `{"traceEvents":[{"name":"process_name","ph":"M","pid":1}]}`, "without an args name"},
+		{"unnamed pid", `{"traceEvents":[{"name":"x","ph":"C","pid":7,"args":{"v":1}}]}`, "no process_name"},
+	}
+	for _, c := range cases {
+		err := LintChromeTrace(strings.NewReader(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+
+	ok := `{"traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"job-000001"}},
+{"name":"job","ph":"X","ts":0,"dur":5,"pid":1,"tid":1},
+{"name":"sim-cycle-last","ph":"i","ts":4,"pid":1,"tid":10,"s":"t","args":{"cycle":34227}}
+]}`
+	if err := LintChromeTrace(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}

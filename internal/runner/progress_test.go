@@ -294,3 +294,61 @@ func TestReporterWithoutJournal(t *testing.T) {
 		t.Fatalf("reporter entries cover %d distinct seqs, want 9", len(seen))
 	}
 }
+
+// startingReporter is a recordingReporter that also implements RunStarter.
+type startingReporter struct {
+	recordingReporter
+	runStarts []Entry // Sweep/Seq/Label populated; abuse Entry as a record
+}
+
+func (r *startingReporter) RunStart(sweep string, seq int, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// A cell must not finish before it starts: RunDone for this seq
+	// cannot already be recorded.
+	for _, e := range r.entries {
+		if e.Seq == seq {
+			panic(fmt.Sprintf("RunStart(%s, %d) after its RunDone", sweep, seq))
+		}
+	}
+	r.runStarts = append(r.runStarts, Entry{Sweep: sweep, Seq: seq, Label: label})
+}
+
+// TestRunStarterSeesEveryExecutedCell: a Reporter that also implements
+// RunStarter gets one RunStart per executed cell, before that cell's
+// RunDone, with the cell's input-order seq and label — and resumed
+// (masked) cells get neither callback.
+func TestRunStarterSeesEveryExecutedCell(t *testing.T) {
+	rep := &startingReporter{}
+	jobs := squareJobs(6, nil)
+	completed := []bool{false, true, false, false, true, false}
+	if _, err := RunResume(context.Background(), Options{Parallelism: 3, Reporter: rep, Name: "st"}, jobs, completed); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.runStarts) != 4 {
+		t.Fatalf("RunStart fired %d times, want 4: %+v", len(rep.runStarts), rep.runStarts)
+	}
+	byStart := map[int]Entry{}
+	for _, s := range rep.runStarts {
+		if s.Sweep != "st" {
+			t.Errorf("RunStart carried sweep %q, want st", s.Sweep)
+		}
+		if want := jobs[s.Seq].Label; s.Label != want {
+			t.Errorf("RunStart seq %d label = %q, want %q", s.Seq, s.Label, want)
+		}
+		byStart[s.Seq] = s
+	}
+	for _, seq := range []int{1, 4} {
+		if _, ok := byStart[seq]; ok {
+			t.Errorf("resumed cell %d received RunStart", seq)
+		}
+	}
+	if len(rep.entries) != 4 {
+		t.Fatalf("RunDone fired %d times, want 4", len(rep.entries))
+	}
+	for _, e := range rep.entries {
+		if _, ok := byStart[e.Seq]; !ok {
+			t.Errorf("cell %d finished without a RunStart", e.Seq)
+		}
+	}
+}

@@ -93,6 +93,18 @@ type Reporter interface {
 	SweepEnd(name string)
 }
 
+// RunStarter is an optional Reporter extension for observers that need to
+// see a cell *begin* executing, not just finish — span tracers open a
+// per-cell interval on RunStart and close it on the matching RunDone.
+// A RunStart for (sweep, seq) happens before that cell's RunDone; like
+// RunDone it is called from worker goroutines, so implementations must be
+// concurrency-safe. Cells skipped by a resume mask get neither call.
+type RunStarter interface {
+	// RunStart announces that a worker has begun executing the cell at
+	// input index seq, labelled label, in the named sweep.
+	RunStart(sweep string, seq int, label string)
+}
+
 // workers returns the effective worker count.
 func (o Options) workers() int {
 	if o.Parallelism > 0 {
@@ -202,12 +214,16 @@ func RunResume[R any](ctx context.Context, opts Options, jobs []Job[R], complete
 		}
 	}()
 
+	starter, _ := opts.Reporter.(RunStarter)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if starter != nil {
+					starter.RunStart(opts.Name, i, jobs[i].Label)
+				}
 				res, wall, err := runOne(ctx, jobs[i])
 				out[i], errs[i] = res, err
 				if err != nil {

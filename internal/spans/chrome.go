@@ -1,0 +1,176 @@
+package spans
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dynaspam/internal/probe"
+)
+
+// Chrome trace-event export for one job's span tree, sharing
+// probe.ChromeStream so the framing, field order, and determinism
+// conventions match the cycle-level exporter exactly. One microsecond of
+// trace time is one microsecond of host wall-clock time, measured
+// relative to the tree's earliest span — so traces recorded against a
+// deterministic injected clock render byte-identically across runs.
+//
+// Layout: the job is one Perfetto process (pid 1, named by the process
+// argument). Lifecycle spans (everything but cells) stack on a single
+// "lifecycle" thread, where containment renders the hierarchy: queue
+// wait, admit, run, and journal flush all nest inside the root job span.
+// Cell spans overlap when the sweep runs parallel workers, so they are
+// spread across a "cells" lane bank with probe.AssignLanes. Sim-clock
+// anchors become instant events on their span's thread and are repeated
+// in the owning slice's args.
+
+// Thread-id layout, mirroring probe's convention of fixed bank bases.
+const (
+	tidLifecycle = 1  // root + lifecycle phases, nested by containment
+	tidCellBase  = 10 // cell lanes: tidCellBase + lane
+)
+
+// WriteChromeTrace renders spans (a Recorder.Snapshot, in ID order) as
+// one Chrome trace-event JSON document for the process named process.
+// Spans still open render up to the tree's latest observed timestamp
+// with a minimum one-microsecond width, so an in-flight job's trace is
+// valid Chrome JSON too.
+func WriteChromeTrace(w io.Writer, process string, spans []Span) error {
+	s, err := probe.NewChromeStream(w)
+	if err != nil {
+		return err
+	}
+	if err := s.Emit(probe.ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": process},
+	}); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return s.Close()
+	}
+
+	base, last := timeBounds(spans)
+	rel := func(t time.Time) uint64 {
+		if !t.After(base) {
+			return 0
+		}
+		return uint64(t.Sub(base).Microseconds())
+	}
+	// endOf clamps open spans to the latest observed instant and keeps
+	// every slice at least one microsecond wide, like probe's sliceEnd.
+	endOf := func(sp Span) uint64 {
+		end := last
+		if !sp.End.IsZero() {
+			end = sp.End
+		}
+		ts := rel(sp.Start)
+		if e := rel(end); e > ts {
+			return e
+		}
+		return ts + 1
+	}
+
+	var cells []Span
+	for _, sp := range spans {
+		if sp.Cat == "cell" {
+			cells = append(cells, sp)
+		}
+	}
+	lanes := probe.AssignLanes(len(cells), func(i int) (uint64, uint64) {
+		return rel(cells[i].Start), endOf(cells[i])
+	})
+	laneOf := make(map[int]int, len(cells)) // span ID -> cell lane
+	maxLane := 0
+	for i, sp := range cells {
+		laneOf[sp.ID] = lanes[i]
+		if lanes[i]+1 > maxLane {
+			maxLane = lanes[i] + 1
+		}
+	}
+
+	emitErr := s.Emit(probe.ChromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: tidLifecycle,
+		Args: map[string]any{"name": "lifecycle"},
+	})
+	for l := 0; l < maxLane; l++ {
+		emitErr = s.Emit(probe.ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tidCellBase + l,
+			Args: map[string]any{"name": fmt.Sprintf("cells lane %02d", l)},
+		})
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+
+	// Slices in ID order (Start order), then anchors in the same order:
+	// a fixed structural order, so the bytes depend only on the spans.
+	for _, sp := range spans {
+		if err := s.Emit(probe.ChromeEvent{
+			Name: sp.Name, Ph: "X", Cat: sp.Cat,
+			Ts: rel(sp.Start), Dur: endOf(sp) - rel(sp.Start),
+			Pid: 1, Tid: tidOf(sp, laneOf), Args: sliceArgs(sp),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, sp := range spans {
+		for _, an := range sp.Anchors {
+			if err := s.Emit(probe.ChromeEvent{
+				Name: an.Name, Ph: "i", Ts: rel(an.At),
+				Pid: 1, Tid: tidOf(sp, laneOf), S: "t",
+				Args: map[string]any{"cycle": an.Cycle, "span": sp.Name},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return s.Close()
+}
+
+// tidOf places a span on its thread: cells on their assigned lane,
+// everything else on the lifecycle thread.
+func tidOf(sp Span, laneOf map[int]int) int {
+	if sp.Cat == "cell" {
+		return tidCellBase + laneOf[sp.ID]
+	}
+	return tidLifecycle
+}
+
+// sliceArgs renders a span's labels (and anchor cycles) as slice args.
+func sliceArgs(sp Span) map[string]any {
+	if len(sp.Labels) == 0 && len(sp.Anchors) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(sp.Labels)+len(sp.Anchors))
+	for _, l := range sp.Labels {
+		args[l.Key] = l.Value
+	}
+	for _, an := range sp.Anchors {
+		args[an.Name] = an.Cycle
+	}
+	return args
+}
+
+// timeBounds returns the earliest start and the latest observed instant
+// (end, start, or anchor time) across the spans.
+func timeBounds(spans []Span) (base, last time.Time) {
+	base, last = spans[0].Start, spans[0].Start
+	for _, sp := range spans {
+		if sp.Start.Before(base) {
+			base = sp.Start
+		}
+		if sp.Start.After(last) {
+			last = sp.Start
+		}
+		if !sp.End.IsZero() && sp.End.After(last) {
+			last = sp.End
+		}
+		for _, an := range sp.Anchors {
+			if an.At.After(last) {
+				last = an.At
+			}
+		}
+	}
+	return base, last
+}

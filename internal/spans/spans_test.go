@@ -1,0 +1,182 @@
+package spans
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynaspam/internal/probe"
+)
+
+// stepClock returns a deterministic clock advancing 1ms per read.
+func stepClock() func() time.Time {
+	var mu sync.Mutex
+	t := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestRecorderTree(t *testing.T) {
+	r := NewRecorder(0, stepClock())
+	root := r.Start(-1, "job", "job job-000001", Label{Key: "job_id", Value: "job-000001"})
+	queue := r.Start(root, "lifecycle", "queue-wait")
+	r.End(queue)
+	cell := r.Start(root, "cell", "cell BP/accel-spec")
+	r.Annotate(cell, "status", "ok")
+	r.AnchorCycle(cell, "sim-cycle-last", 34227)
+	r.End(cell)
+	r.End(root)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot holds %d spans, want 3", len(snap))
+	}
+	if snap[0].ID != root || snap[0].Parent != -1 || snap[0].Labels[0].Value != "job-000001" {
+		t.Errorf("root span = %+v", snap[0])
+	}
+	if snap[1].Parent != root || snap[1].End.IsZero() {
+		t.Errorf("queue span = %+v", snap[1])
+	}
+	c := snap[2]
+	if c.Cat != "cell" || len(c.Anchors) != 1 || c.Anchors[0].Cycle != 34227 || c.Anchors[0].At.IsZero() {
+		t.Errorf("cell span = %+v", c)
+	}
+	if c.Labels[0] != (Label{Key: "status", Value: "ok"}) {
+		t.Errorf("cell labels = %+v", c.Labels)
+	}
+	// The step clock makes durations exact: queue opened on call 3,
+	// closed on call 4.
+	if d, ok := r.Duration(queue); !ok || d != time.Millisecond {
+		t.Errorf("queue duration = %v, %v", d, ok)
+	}
+	if _, ok := r.Duration(-1); ok {
+		t.Error("Duration(-1) reported ok")
+	}
+
+	// Snapshot is a deep copy: mutating it must not leak back.
+	snap[0].Labels[0].Value = "tampered"
+	if r.Snapshot()[0].Labels[0].Value != "job-000001" {
+		t.Error("snapshot shares label memory with the recorder")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4, stepClock())
+	ids := make([]int, 10)
+	for i := range ids {
+		ids[i] = r.Start(-1, "cell", "s")
+		r.End(ids[i])
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d spans, want 4", len(snap))
+	}
+	// Survivors are the newest spans, IDs stable and ascending.
+	for i, sp := range snap {
+		if sp.ID != ids[6+i] {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, sp.ID, ids[6+i])
+		}
+	}
+	// Operations on an evicted ID are silent no-ops.
+	r.Annotate(ids[0], "k", "v")
+	r.End(ids[0])
+	if _, ok := r.Duration(ids[0]); ok {
+		t.Error("evicted span still reports a duration")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	id := r.Start(-1, "job", "x")
+	if id != -1 {
+		t.Fatalf("nil Start = %d, want -1", id)
+	}
+	r.Annotate(id, "k", "v")
+	r.AnchorCycle(id, "a", 1)
+	r.End(id)
+	if _, ok := r.Duration(id); ok {
+		t.Error("nil Duration reported ok")
+	}
+	if r.Snapshot() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+// record builds one deterministic job-shaped tree.
+func record(t *testing.T) []Span {
+	t.Helper()
+	r := NewRecorder(0, stepClock())
+	root := r.Start(-1, "job", "job job-000001",
+		Label{Key: "job_id", Value: "job-000001"}, Label{Key: "run_id", Value: "r1"})
+	queue := r.Start(root, "lifecycle", "queue-wait")
+	r.End(queue)
+	run := r.Start(root, "lifecycle", "run")
+	for _, cell := range []string{"BP/accel-spec", "PF/accel-spec"} {
+		id := r.Start(run, "cell", "cell "+cell, Label{Key: "cell", Value: cell})
+		r.Annotate(id, "source", "run")
+		r.AnchorCycle(id, "sim-cycle-first", 0)
+		r.AnchorCycle(id, "sim-cycle-last", 34227)
+		r.End(id)
+	}
+	r.End(run)
+	r.Annotate(root, "state", "done")
+	r.End(root)
+	return r.Snapshot()
+}
+
+func TestWriteChromeTraceDeterministicAndValid(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, "job-000001", record(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, "job-000001", record(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two recordings render differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if err := probe.LintChromeTrace(bytes.NewReader(a.Bytes())); err != nil {
+		t.Fatalf("span trace fails the chrome lint: %v", err)
+	}
+	out := a.String()
+	for _, want := range []string{
+		`"name":"job job-000001"`, `"cat":"cell"`, `"sim-cycle-last":34227`,
+		`"name":"sim-cycle-last","ph":"i"`, `"name":"lifecycle"`, `"run_id":"r1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTraceOpenSpans(t *testing.T) {
+	r := NewRecorder(0, stepClock())
+	root := r.Start(-1, "job", "job j")
+	r.Start(root, "lifecycle", "queue-wait") // never ended: in-flight job
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "j", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.LintChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("in-flight trace fails lint: %v", err)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "j", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "{\"traceEvents\":[\n") {
+		t.Fatalf("framing missing: %q", buf.String())
+	}
+}

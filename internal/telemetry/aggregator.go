@@ -189,6 +189,17 @@ func (a *Aggregator) BoundsMismatches() int {
 	return a.global.mismatch
 }
 
+// EventsDropped returns the merged probe.MetricEventsDropped counter: how
+// many trace events finished cells discarded because of their MaxEvents
+// cap. It is surfaced as its own first-class /metrics family
+// (dynaspam_probe_events_dropped_total) so truncated traces are visible
+// even to dashboards that ignore the dynaspam_sim_* namespace.
+func (a *Aggregator) EventsDropped() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.global.counters[probe.MetricEventsDropped]
+}
+
 // JobSeriesEvicted returns how many per-job partitions were dropped to
 // honor the maxJobSeries cap.
 func (a *Aggregator) JobSeriesEvicted() int {

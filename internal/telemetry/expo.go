@@ -125,20 +125,25 @@ func writeExport(e *expoWriter, ex probe.Export) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		h := ex.Hists[name]
 		full := simPrefix + name
 		e.header(full, "Aggregated simulation histogram "+name+" merged across finished sweep cells.", "histogram")
-		var cum uint64
-		for i, b := range h.Bounds {
-			cum += h.BucketCounts[i]
-			e.sample(full+"_bucket", []label{{"le", formatValue(b)}}, float64(cum))
-		}
-		// Overflow samples are counted only by Count, so +Inf comes from
-		// there, not from the explicit buckets.
-		e.sample(full+"_bucket", []label{{"le", "+Inf"}}, float64(h.Count))
-		e.sample(full+"_sum", nil, h.Sum)
-		e.sample(full+"_count", nil, float64(h.Count))
+		writeHistSeries(e, full, nil, ex.Hists[name])
 	}
+}
+
+// writeHistSeries expands one histogram into its cumulative _bucket series
+// (closed by le="+Inf"), _sum, and _count, each sample carrying id's
+// labels. Overflow samples are counted only by Count, so +Inf comes from
+// there, not from the explicit buckets.
+func writeHistSeries(e *expoWriter, full string, id []label, h probe.Histogram) {
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.BucketCounts[i]
+		e.sample(full+"_bucket", append(append([]label(nil), id...), label{"le", formatValue(b)}), float64(cum))
+	}
+	e.sample(full+"_bucket", append(append([]label(nil), id...), label{"le", "+Inf"}), float64(h.Count))
+	e.sample(full+"_sum", id, h.Sum)
+	e.sample(full+"_count", id, float64(h.Count))
 }
 
 // writeJobExports renders per-job metric partitions under jobSimPrefix,
@@ -193,15 +198,7 @@ func writeJobExports(e *expoWriter, jobs []JobExport) {
 			if !ok {
 				continue
 			}
-			id := []label{{"job_id", j.JobID}}
-			var cum uint64
-			for i, b := range h.Bounds {
-				cum += h.BucketCounts[i]
-				e.sample(full+"_bucket", []label{{"job_id", j.JobID}, {"le", formatValue(b)}}, float64(cum))
-			}
-			e.sample(full+"_bucket", []label{{"job_id", j.JobID}, {"le", "+Inf"}}, float64(h.Count))
-			e.sample(full+"_sum", id, h.Sum)
-			e.sample(full+"_count", id, float64(h.Count))
+			writeHistSeries(e, full, []label{{"job_id", j.JobID}}, h)
 		}
 	}
 }
@@ -241,18 +238,29 @@ type ExtraSample struct {
 // outside the telemetry package (the jobs plane's queue depths and cache
 // counters). Type must be one of the exposition 0.0.4 types ("counter",
 // "gauge", ...); Name must satisfy the metric charset, which LintExposition
-// (and CI's lint-metrics step) will verify on the rendered page.
+// (and CI's lint-metrics step) will verify on the rendered page. A family
+// of Type "histogram" supplies Hist instead of Samples and expands into
+// the cumulative _bucket/_sum/_count series at render time (the jobs
+// plane's queue-wait and turnaround latency distributions). Hist must be
+// an immutable snapshot — callbacks run on the scrape goroutine, so hand
+// over a deep copy made under the contributor's own lock, never the live
+// histogram.
 type ExtraFamily struct {
 	Name    string
 	Help    string
 	Type    string
 	Samples []ExtraSample
+	Hist    probe.Histogram
 }
 
 // writeExtras renders caller-contributed families in the order given.
 func writeExtras(e *expoWriter, fams []ExtraFamily) {
 	for _, f := range fams {
 		e.header(f.Name, f.Help, f.Type)
+		if f.Type == "histogram" {
+			writeHistSeries(e, f.Name, nil, f.Hist)
+			continue
+		}
 		for _, s := range f.Samples {
 			ls := make([]label, len(s.Labels))
 			for i, l := range s.Labels {

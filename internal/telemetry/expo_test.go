@@ -150,3 +150,54 @@ func TestLintExpositionRoundTripsLabels(t *testing.T) {
 		t.Errorf("label round-trip = %q, want %q", labels["k"], val)
 	}
 }
+
+func TestWriteExtrasHistogramFamily(t *testing.T) {
+	r := probe.NewRegistry()
+	h := r.RegisterHistogram("wait", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	writeExtras(&expoWriter{w: &buf}, []ExtraFamily{{
+		Name: "dynaspam_job_queue_wait_seconds",
+		Help: "Seconds jobs spent queued.",
+		Type: "histogram",
+		Hist: r.Export().Hists["wait"],
+	}})
+	got := buf.String()
+	for _, want := range []string{
+		"# TYPE dynaspam_job_queue_wait_seconds histogram\n",
+		`dynaspam_job_queue_wait_seconds_bucket{le="0.1"} 1` + "\n",
+		`dynaspam_job_queue_wait_seconds_bucket{le="1"} 2` + "\n",
+		`dynaspam_job_queue_wait_seconds_bucket{le="10"} 3` + "\n",
+		`dynaspam_job_queue_wait_seconds_bucket{le="+Inf"} 4` + "\n",
+		"dynaspam_job_queue_wait_seconds_sum 102.55\n",
+		"dynaspam_job_queue_wait_seconds_count 4\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("extras histogram missing %q in:\n%s", want, got)
+		}
+	}
+	if err := LintExposition(strings.NewReader(got)); err != nil {
+		t.Fatalf("extras histogram fails lint: %v\n%s", err, got)
+	}
+}
+
+func TestAggregatorEventsDropped(t *testing.T) {
+	agg := NewAggregator()
+	if agg.EventsDropped() != 0 {
+		t.Fatalf("fresh aggregator EventsDropped = %v", agg.EventsDropped())
+	}
+	r := probe.NewRegistry()
+	r.Counter(probe.MetricEventsDropped, 3)
+	agg.Merge(r.Export())
+	agg.Merge(r.Export())
+	if got := agg.EventsDropped(); got != 6 {
+		t.Fatalf("EventsDropped = %v, want 6", got)
+	}
+	var buf bytes.Buffer
+	writeAggregate(&expoWriter{w: &buf}, agg)
+	if !strings.Contains(buf.String(), "dynaspam_probe_events_dropped_total 6\n") {
+		t.Errorf("aggregate page lacks the dropped-events family:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"time"
+)
+
+// On-demand profiling for the jobs plane: GET /jobs/{id}/profile wants a
+// profile scoped to one running job, which the stdlib /debug/pprof
+// handlers cannot give (they profile unconditionally and know nothing
+// about job lifetimes). CaptureProfile adds the one missing piece — a
+// timed CPU capture that also ends early when the observed job finishes —
+// and the jobs plane supplies the lifetime channel.
+
+// ErrCPUProfileBusy reports that another CPU profile capture (ours or a
+// /debug/pprof/profile request) is already running; the runtime supports
+// only one at a time. Handlers map it to 409 Conflict.
+var ErrCPUProfileBusy = errors.New("telemetry: a cpu profile capture is already running")
+
+// CaptureProfile writes one pprof profile to w.
+//
+// kind "heap" snapshots the allocation profile immediately. kind "cpu"
+// samples for the given number of seconds — or less, if ctx is canceled
+// (client went away) or stop closes (the jobs plane closes it when the
+// profiled job reaches a terminal state, so a capture scoped to a job
+// never outlives it). The CPU profile is buffered and written only on
+// success, so callers can still send a clean HTTP error when the capture
+// cannot start.
+func CaptureProfile(ctx context.Context, w io.Writer, kind string, seconds int, stop <-chan struct{}) error {
+	switch kind {
+	case "heap":
+		return pprof.Lookup("heap").WriteTo(w, 0)
+	case "cpu":
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			return fmt.Errorf("%w (%v)", ErrCPUProfileBusy, err)
+		}
+		t := time.NewTimer(time.Duration(seconds) * time.Second)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		case <-stop:
+		}
+		pprof.StopCPUProfile()
+		_, err := w.Write(buf.Bytes())
+		return err
+	default:
+		return fmt.Errorf("telemetry: unknown profile kind %q", kind)
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+func TestCaptureProfileHeap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CaptureProfile(context.Background(), &buf, "heap", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}
+
+func TestCaptureProfileCPUStopsEarly(t *testing.T) {
+	// The stop channel closes immediately, so a nominally 30-second
+	// capture must return promptly with a valid (gzip-framed) profile.
+	stop := make(chan struct{})
+	close(stop)
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- CaptureProfile(context.Background(), &buf, "cpu", 30, stop) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("capture did not honour the stop channel")
+	}
+	if buf.Len() < 2 || buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatalf("cpu profile is not gzip-framed: % x", buf.Bytes()[:min(buf.Len(), 4)])
+	}
+}
+
+func TestCaptureProfileCPUBusy(t *testing.T) {
+	if err := pprof.StartCPUProfile(io.Discard); err != nil {
+		// Another test already profiles; the busy path is still exercised.
+		t.Logf("ambient profile already running: %v", err)
+	} else {
+		defer pprof.StopCPUProfile()
+	}
+	var buf bytes.Buffer
+	err := CaptureProfile(context.Background(), &buf, "cpu", 1, nil)
+	if !errors.Is(err, ErrCPUProfileBusy) {
+		t.Fatalf("err = %v, want ErrCPUProfileBusy", err)
+	}
+}
+
+func TestCaptureProfileUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CaptureProfile(context.Background(), &buf, "goroutine", 1, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -187,6 +188,48 @@ func TestServeEventsReplay(t *testing.T) {
 	}
 	if frames2[0].id != frames[2].id {
 		t.Errorf("replay resumed at id %s, want %s", frames2[0].id, frames[2].id)
+	}
+}
+
+// TestServeEventsResumeAfterDrop: a subscriber reconnecting with a
+// Last-Event-ID that has already aged out of the replay ring resumes from
+// the oldest retained event — the dropped window is skipped, never
+// re-fabricated, and what remains replays gapless from there.
+func TestServeEventsResumeAfterDrop(t *testing.T) {
+	tr := NewTracker("r")
+	tr.SweepStart("s", eventHistoryCap+50)
+	for i := 0; i < eventHistoryCap+50; i++ {
+		tr.RunDone(entry("s", i, "x", runner.StatusOK, 0))
+	}
+	tr.mu.Lock()
+	dropped, oldest := tr.dropped, tr.events[0].id
+	tr.mu.Unlock()
+	if dropped == 0 {
+		t.Fatal("test did not overflow the replay ring")
+	}
+
+	// Last-Event-ID = 1 names the long-evicted sweep_start frame.
+	req := httptest.NewRequest("GET", "/events", nil)
+	req.Header.Set("Last-Event-ID", "1")
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	rec := httptest.NewRecorder()
+	tr.ServeEvents(rec, req.WithContext(ctx))
+
+	frames := parseSSE(t, rec.Body.String())
+	if len(frames) != eventHistoryCap {
+		t.Fatalf("resume replayed %d frames, want the %d retained", len(frames), eventHistoryCap)
+	}
+	if frames[0].id != strconv.FormatUint(oldest, 10) {
+		t.Errorf("resume started at id %s, want oldest retained %d", frames[0].id, oldest)
+	}
+	prev := oldest - 1
+	for i, f := range frames {
+		id, err := strconv.ParseUint(f.id, 10, 64)
+		if err != nil || id != prev+1 {
+			t.Fatalf("frame %d id = %q, want %d", i, f.id, prev+1)
+		}
+		prev = id
 	}
 }
 

@@ -233,6 +233,8 @@ func writeAggregate(e *expoWriter, agg *Aggregator) {
 	e.sample("dynaspam_histogram_bounds_mismatch_total", nil, float64(agg.BoundsMismatches()))
 	e.header("dynaspam_job_series_evicted_total", "Per-job metric partitions dropped to bound /metrics cardinality.", "counter")
 	e.sample("dynaspam_job_series_evicted_total", nil, float64(agg.JobSeriesEvicted()))
+	e.header("dynaspam_probe_events_dropped_total", "Trace events discarded by finished cells' probe MaxEvents caps.", "counter")
+	e.sample("dynaspam_probe_events_dropped_total", nil, agg.EventsDropped())
 	writeExport(e, agg.Export())
 	writeJobExports(e, agg.JobExports())
 }
