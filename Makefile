@@ -8,7 +8,7 @@ GO ?= go
 # Benchmarks covered by the regression gate: the two hot-loop
 # micro-benchmarks plus the end-to-end figure benchmarks whose history
 # BENCH_4.json records.
-BENCH_GATE = BenchmarkCPUStep|BenchmarkFabricInvoke|BenchmarkBaselinePipeline|BenchmarkTraceOverhead|BenchmarkSpanOverhead
+BENCH_GATE = BenchmarkCPUStep|BenchmarkFabricInvoke|BenchmarkBatchedFabricInvoke|BenchmarkBaselinePipeline|BenchmarkFastForwardPipeline|BenchmarkSampledPipeline|BenchmarkTraceOverhead|BenchmarkSpanOverhead
 
 all: check
 
@@ -118,7 +118,11 @@ serve-smoke:
 # Durable job plane smoke test: submit two jobs, SIGKILL the server
 # mid-run, restart over the same state directory, require both jobs to
 # resume and complete, then resubmit the first spec and require every
-# cell to come from the memo cache (no re-simulation).
+# cell to come from the memo cache (no re-simulation). Finally submit the
+# second spec at sampled fidelity: its cells must be fresh runs (the memo
+# cache key includes the simulation policy, so full-detail results are
+# never served for a sampled request) and a resubmission must then hit
+# the cache.
 jobs-smoke:
 	@set -e; dir=$$(mktemp -d); trap 'kill -9 $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
 	$(GO) build -o "$$dir/dynaspam" ./cmd/dynaspam; \
@@ -154,9 +158,24 @@ jobs-smoke:
 	grep -q '"state": "done"' "$$dir/job3.json"; \
 	grep -q '"source": "cache"' "$$dir/job3.json" || { echo "resubmitted job was re-simulated:"; cat "$$dir/job3.json"; exit 1; }; \
 	! grep -q '"source": "run"' "$$dir/job3.json" || { echo "resubmitted job re-simulated some cells:"; cat "$$dir/job3.json"; exit 1; }; \
+	curl -sf -X POST -d '{"bench":"BP,PF","sim_policy":"sampled"}' "http://$$addr/jobs" | grep -q job-000004; \
+	for i in $$(seq 1 600); do \
+	  curl -sf "http://$$addr/jobs/job-000004" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "http://$$addr/jobs/job-000004" >"$$dir/job4.json"; \
+	grep -q '"state": "done"' "$$dir/job4.json"; \
+	grep -q '"sim_policy": "sampled"' "$$dir/job4.json"; \
+	grep -q '"source": "run"' "$$dir/job4.json" || { echo "sampled job hit the full-detail cache; keys are not fidelity-aware:"; cat "$$dir/job4.json"; exit 1; }; \
+	curl -sf -X POST -d '{"bench":"BP,PF","sim_policy":"sampled"}' "http://$$addr/jobs" | grep -q job-000005; \
+	for i in $$(seq 1 600); do \
+	  curl -sf "http://$$addr/jobs/job-000005" | grep -q '"state": "done"' && break; sleep 0.1; \
+	done; \
+	curl -sf "http://$$addr/jobs/job-000005" >"$$dir/job5.json"; \
+	grep -q '"source": "cache"' "$$dir/job5.json" || { echo "resubmitted sampled job was re-simulated:"; cat "$$dir/job5.json"; exit 1; }; \
 	curl -sf "http://$$addr/metrics" >"$$dir/metrics.prom"; \
 	"$$dir/dynaspam" lint-metrics "$$dir/metrics.prom" >/dev/null; \
 	grep -Eq 'dynaspam_job_cache_hits_total [1-9]' "$$dir/metrics.prom"; \
+	grep -q 'dynaspam_sim_insts_per_second' "$$dir/metrics.prom" || { echo "metrics lack dynaspam_sim_insts_per_second"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "jobs-smoke OK"
 

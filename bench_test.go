@@ -14,6 +14,9 @@
 //	BenchmarkTable6Area           — Table 6  (area model)
 //	BenchmarkAblationNaiveMapper  — §2.2     (naive vs resource-aware mapping)
 //	BenchmarkBaselinePipeline     — host-pipeline simulation throughput
+//	BenchmarkFastForwardPipeline  — functional fast-forward throughput
+//	BenchmarkSampledPipeline      — SMARTS-style sampled simulation
+//	BenchmarkBatchedFabricInvoke  — batched fabric evaluation steady state
 //	BenchmarkParallelSweep        — Figure 8 sweep at 1..N workers (the
 //	                                internal/runner speedup measurement)
 package dynaspam_test
@@ -405,5 +408,104 @@ func BenchmarkSpanOverhead(b *testing.B) {
 		flush := rec.Start(root, "lifecycle", "journal-flush")
 		rec.End(flush)
 		rec.End(root)
+	}
+}
+
+// BenchmarkFastForwardPipeline measures functional fast-forward throughput:
+// the whole BFS workload executed through the interpreter-speed path (branch
+// predictor, T-Cache counters, and caches still trained) with only the final
+// halt committed in detail. Compare cycles-simulated wall time against
+// BenchmarkBaselinePipeline to see the fidelity/speed trade.
+func BenchmarkFastForwardPipeline(b *testing.B) {
+	w, err := workloads.ByAbbrev("BFS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Mode = core.ModeAccel
+	params.Sim = core.SimPolicy{Mode: core.SimFastForward}
+	insts := uint64(0)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(w, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.Sim.FFInsts + r.Sim.DetailInsts
+	}
+	b.ReportMetric(float64(insts)/float64(b.N), "insts/run")
+}
+
+// BenchmarkSampledPipeline measures SMARTS-style sampled simulation on BFS:
+// short detailed windows interleaved with functionally-warmed fast-forward.
+// ns/op against BenchmarkBaselinePipeline-style full detail is the headline
+// production-workload speedup; insts/run confirms full coverage.
+func BenchmarkSampledPipeline(b *testing.B) {
+	w, err := workloads.ByAbbrev("BFS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Mode = core.ModeAccel
+	// Windows sized for BFS's ~30k dynamic instructions so several sampling
+	// periods fit (the production defaults assume multi-million-inst runs).
+	params.Sim = core.SimPolicy{Mode: core.SimSampled, Warmup: 500, DetailWindow: 2000, FFInterval: 10_000}
+	insts := uint64(0)
+	windows := uint64(0)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(w, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.Sim.FFInsts + r.Sim.DetailInsts
+		windows += uint64(r.Sim.Windows)
+	}
+	b.ReportMetric(float64(insts)/float64(b.N), "insts/run")
+	b.ReportMetric(float64(windows)/float64(b.N), "windows/run")
+}
+
+// BenchmarkBatchedFabricInvoke measures the batched steady state of the
+// fabric evaluator: chunks of 64 invocations of one configuration through
+// RunBatch, which skips the per-invocation value-scratch clear and stripe
+// walk. Compare ns/op (per invocation) and allocs/op against
+// BenchmarkFabricInvoke; both must stay at 0 allocs/op.
+func BenchmarkBatchedFabricInvoke(b *testing.B) {
+	w, err := workloads.ByAbbrev("HS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := fabric.DefaultGeometry()
+	var cfg *fabric.Config
+	for _, tr := range experiments.SampleTraces(w, 32) {
+		if c, err := mapper.MapStatic(tr, g, 0, len(tr)); err == nil {
+			cfg = c
+			break
+		}
+	}
+	if cfg == nil {
+		b.Fatal("no mappable sample trace")
+	}
+	f := fabric.New(g)
+	env := fabric.EvalEnv{
+		ReadMem:     func(addr uint64) uint64 { return addr ^ 0x9e3779b9 },
+		AccessMem:   func(addr uint64, write bool) int { return 2 },
+		Speculative: true,
+	}
+	liveIns := make([]uint64, len(cfg.LiveIns))
+	for i := range liveIns {
+		liveIns[i] = uint64(i + 1)
+	}
+	const chunk = 64
+	invs := make([]fabric.Invocation, chunk)
+	for i := range invs {
+		invs[i] = fabric.Invocation{Cfg: cfg, LiveIns: liveIns, Now: int64(i)}
+	}
+	dst := make([]ooo.TraceResult, 0, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += chunk {
+		dst = f.RunBatch(invs, env, dst[:0])
+		for j := range dst {
+			f.Release(&dst[j])
+		}
 	}
 }

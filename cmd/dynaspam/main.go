@@ -109,6 +109,10 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		modeName    = fs.String("mode", "accel-spec", "baseline | mapping | accel-nospec | accel-spec")
 		traceLen    = fs.Int("tracelen", 32, "trace length cap in instructions")
 		fabrics     = fs.Int("fabrics", 1, "number of physical fabrics")
+		simPolicy   = fs.String("sim-policy", "full", "simulation fidelity: full | ff | sampled")
+		ffInterval  = fs.Int("ff-interval", 0, "instructions fast-forwarded per sampling region (0 = default)")
+		detailWin   = fs.Int("detail-window", 0, "detailed commits measured per sampling period (0 = default)")
+		warmup      = fs.Int("warmup", 0, "unmeasured detailed commits before each window (0 = default)")
 		parallelism = fs.Int("j", 0, "parallel simulations for multi-benchmark sweeps (0 = GOMAXPROCS)")
 		journalPath = fs.String("journal", "", "write a JSON-lines run journal to this file")
 		progress    = fs.Bool("progress", false, "report live sweep progress on stderr")
@@ -186,6 +190,21 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	params.Mode = mode
 	params.TraceLen = *traceLen
 	params.NumFabrics = *fabrics
+	simMode, ok := core.ParseSimMode(*simPolicy)
+	if !ok {
+		fmt.Fprintf(stderr, "unknown sim policy %q\n", *simPolicy)
+		return 2
+	}
+	if *ffInterval < 0 || *detailWin < 0 || *warmup < 0 {
+		fmt.Fprintln(stderr, "sampling geometry flags must be non-negative")
+		return 2
+	}
+	params.Sim = core.SimPolicy{
+		Mode:         simMode,
+		FFInterval:   uint64(*ffInterval),
+		DetailWindow: uint64(*detailWin),
+		Warmup:       uint64(*warmup),
+	}
 
 	// SIGINT/SIGTERM cancel the sweep; in-flight cells stop at their next
 	// context poll and queued cells are skipped.
@@ -432,6 +451,14 @@ func printDetailed(out io.Writer, w *workloads.Workload, mode core.Mode, res *ex
 	tb.AddRowf("reconfigurations", fmt.Sprintf("%d", res.Reconfigs))
 	tb.AddRowf("branch mispredicts", fmt.Sprintf("%d", res.CPU.BranchMispredicts))
 	tb.AddRowf("memory violations", fmt.Sprintf("%d", res.CPU.MemViolations))
+	if res.Sim.FFInsts > 0 {
+		tb.AddRowf("sim policy", res.Sim.Policy.Mode.String())
+		tb.AddRowf("fast-forwarded insts", fmt.Sprintf("%d", res.Sim.FFInsts))
+		tb.AddRowf("detailed insts", fmt.Sprintf("%d", res.Sim.DetailInsts))
+		tb.AddRowf("measurement windows", fmt.Sprintf("%d", res.Sim.Windows))
+		tb.AddRowf("detailed cycles", fmt.Sprintf("%d", res.Sim.DetailCycles))
+		tb.AddRowf("estimated cycles", fmt.Sprintf("%d", res.Sim.EstCycles))
+	}
 	fmt.Fprint(out, tb.String())
 
 	fmt.Fprintf(out, "\nEnergy breakdown (pJ):\n")

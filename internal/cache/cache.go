@@ -195,6 +195,18 @@ func (h *Hierarchy) AccessData(addr uint64, write bool) int {
 	return lat + h.MemLatency
 }
 
+// WarmData performs a functional-warming access on the data path: tags and
+// LRU recency update exactly as in AccessData, but the hit/miss counters
+// and memory-access count are restored afterwards. Sampled simulation uses
+// this to keep cache contents aging through fast-forwarded regions
+// (SMARTS-style functional warming) without perturbing the statistics its
+// detailed windows measure.
+func (h *Hierarchy) WarmData(addr uint64, write bool) {
+	l1, l2, mem := h.L1D.stats, h.L2.stats, h.MemAccesses
+	h.AccessData(addr, write)
+	h.L1D.stats, h.L2.stats, h.MemAccesses = l1, l2, mem
+}
+
 // AccessInst returns the latency in cycles of an instruction fetch at addr.
 func (h *Hierarchy) AccessInst(addr uint64) int {
 	lat := h.L1I.cfg.HitLatency

@@ -73,6 +73,14 @@ type Params struct {
 	// ReconfigPenalty is the cycle cost to load a configuration.
 	ReconfigPenalty int
 
+	// Sim selects the simulation fidelity policy (full detail, pure
+	// fast-forward, or SMARTS-style sampled). The zero value is full
+	// detail, which is bit-identical to the pre-policy simulator. The
+	// struct is pure scalars so Params keeps satisfying the jobs memo
+	// cache's %#v-key contract — cells simulated at different fidelities
+	// can never alias one cache entry.
+	Sim SimPolicy
+
 	OOO      ooo.Config
 	Geometry fabric.Geometry
 	TCache   tcache.Config
@@ -158,6 +166,13 @@ type System struct {
 	lastStoreDone int64
 
 	stats Stats
+
+	// Sampled-simulation bookkeeping (sample.go); untouched in full-detail
+	// runs. simFFCycles accumulates the estimated cycle cost of
+	// fast-forwarded regions (ff insts × most recent detailed-window CPI).
+	simWindows  []WindowStat
+	simFFInsts  uint64
+	simFFCycles float64
 
 	// probe is the attached observability tracer; nil (the default) means
 	// tracing is disabled and every probe call below is a nil-receiver
@@ -257,14 +272,19 @@ func (s *System) OffloadedTraces() int { return len(s.offloadedKeys) }
 
 // Run simulates until the program halts.
 func (s *System) Run() error {
-	return s.cpu.Run()
+	return s.RunCtx(context.Background())
 }
 
 // RunCtx simulates until the program halts or ctx is cancelled, whichever
 // comes first. Parallel sweeps use it so one failing cell can stop the
-// others mid-simulation.
+// others mid-simulation. The Sim policy in Params selects fidelity: full
+// detail runs the cycle-accurate pipeline end to end, while ff/sampled
+// interleave functional fast-forwarding (see sample.go).
 func (s *System) RunCtx(ctx context.Context) error {
-	return s.cpu.RunCtx(ctx)
+	if s.params.Sim.Mode == SimFull {
+		return s.cpu.RunCtx(ctx)
+	}
+	return s.runSampledCtx(ctx)
 }
 
 // observeHooks is the baseline-mode hook set: pipeline lifecycle events
@@ -384,6 +404,23 @@ func (s *System) noteBranch(pc int, taken bool) {
 		s.disabled = make(map[tcache.TraceKey]bool)
 		s.abortCount = make(map[tcache.TraceKey]int)
 	}
+}
+
+// abortSessionForSample reaps an in-flight mapping session before a
+// sampled-simulation drain WITHOUT the instability penalty: the abort is an
+// artifact of the sampling schedule, not of the trace's behavior, so it must
+// not feed the abort-count blacklist (otherwise every hot trace gets
+// disabled after a few windows and sampled runs stop offloading entirely).
+func (s *System) abortSessionForSample() {
+	if s.session == nil {
+		return
+	}
+	s.session.Abort()
+	s.stats.MappingAborted++
+	if s.probe != nil {
+		s.probe.MapEnd(s.cpu.Cycle(), s.sessionKey.AnchorPC, probe.MapAborted, 0)
+	}
+	s.session = nil
 }
 
 // checkSession reaps a finished or failed mapping session.

@@ -58,6 +58,14 @@ type RunResult struct {
 	// Energy (Figure 9).
 	Energy energy.Breakdown
 
+	// Sim is the fidelity accounting. Under reduced-fidelity policies
+	// Cycles/Committed/IPC/Energy above are estimates: Cycles is the
+	// sampled EstCycles, Committed includes fast-forwarded instructions,
+	// and Energy is the detailed-window energy scaled to the full
+	// instruction count. Full-detail runs have Sim.FFInsts == 0 and the
+	// top-level numbers are exact.
+	Sim core.SimStats
+
 	Core   core.Stats
 	CPU    ooo.Stats
 	Fabric fabric.Stats
@@ -112,6 +120,12 @@ func (r *RunResult) JournalMetrics() map[string]float64 {
 		"invoc_ii_mean":      r.MeanInvocII(),
 		"tcache_hit_rate":    r.TCache.HitRate(),
 		"cfgcache_hit_rate":  r.Cfg.HitRate(),
+		// Fidelity accounting (sim_mode is the core.SimMode enum value;
+		// zero for full detail, where ff_insts is zero too).
+		"sim_mode":         float64(r.Sim.Policy.Mode),
+		"sim_ff_insts":     float64(r.Sim.FFInsts),
+		"sim_detail_insts": float64(r.Sim.DetailInsts),
+		"sim_windows":      float64(r.Sim.Windows),
 	}
 	// With a probe attached, fold its registry in: counters plus histogram
 	// count/sum/mean/bucket keys. Key sets are disjoint by construction
@@ -205,7 +219,22 @@ func RunProbedCtx(ctx context.Context, w *workloads.Workload, params core.Params
 		Fabric:          fstat,
 		TCache:          sys.TCache().Stats(),
 		Cfg:             sys.CfgCache().Stats(),
+		Sim:             sys.SimStats(),
 		Probe:           p,
+	}
+	if sim := res.Sim; sim.FFInsts > 0 {
+		// Reduced fidelity: extrapolate the detailed measurements to the
+		// whole instruction stream. Fast-forwarded instructions ran on the
+		// host by definition, so they land in HostOps via Committed below;
+		// energy scales by the instruction ratio since the detailed windows
+		// are the only regions with measured activity.
+		res.Cycles = sim.EstCycles
+		res.Committed = sim.DetailInsts + sim.FFInsts
+		res.IPC = float64(res.Committed) / float64(res.Cycles)
+		scale := float64(res.Committed) / float64(sim.DetailInsts)
+		for i := range res.Energy {
+			res.Energy[i] *= scale
+		}
 	}
 	if res.Committed >= res.FabricOps+res.MappedOps {
 		res.HostOps = res.Committed - res.FabricOps - res.MappedOps

@@ -88,6 +88,16 @@ type evalScratch struct {
 	done      []int64
 	stores    []bufStore
 	perStripe []int
+	// lastCfg is the configuration the values scratch was last evaluated
+	// with. Consecutive invocations of one configuration skip the
+	// per-invocation zeroing of values: every producing op writes its slot
+	// before any consumer reads it (strict index-order evaluation), and
+	// non-producing slots are never read, so the batch reuse is
+	// bit-identical to a zeroed scratch.
+	lastCfg *Config
+	// stripeCfg marks the configuration perStripe currently describes, so
+	// batched invocations skip the per-invocation stripe walk in finish.
+	stripeCfg *Config
 }
 
 // recordSet is a bundle of result-record backing arrays. Run pops one from
@@ -261,10 +271,16 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 	f.scratch.grow(n)
 	values, start, done := f.scratch.values, f.scratch.start, f.scratch.done
 	// Non-producing ops (branches, stores) never write their value slot;
-	// clear the scratch so a stale value can never leak between
-	// invocations the way a fresh allocation's zero could not.
-	for i := range values {
-		values[i] = 0
+	// clear the scratch on a configuration switch so a stale value can
+	// never leak between configurations the way a fresh allocation's zero
+	// could not. Back-to-back invocations of one configuration — the
+	// batched steady state — skip the O(n) clear: each producing slot is
+	// rewritten in index order before any consumer reads it.
+	if f.scratch.lastCfg != cfg {
+		for i := range values {
+			values[i] = 0
+		}
+		f.scratch.lastCfg = cfg
 	}
 
 	rs := f.getRecordSet()
@@ -444,9 +460,14 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 				res.LastStoreDone = t
 			}
 		case op == isa.OpFSlt:
+			// Unconditional write: batch reuse of the values scratch
+			// (see Run's clear) requires every producing op to rewrite
+			// its slot each invocation.
+			v := uint64(0)
 			if math.Float64frombits(a) < math.Float64frombits(b) {
-				values[i] = 1
+				v = 1
 			}
+			values[i] = v
 		case op == isa.OpItoF:
 			values[i] = math.Float64bits(float64(int64(a)))
 		case op == isa.OpFtoI:
@@ -485,6 +506,20 @@ func (f *Fabric) Run(inv Invocation, env EvalEnv) ooo.TraceResult {
 	return res
 }
 
+// RunBatch evaluates a sequence of invocations back-to-back, appending one
+// result per invocation to dst (which may be nil) and returning it. Results
+// are bit-identical to calling Run sequentially; the win is the batched
+// steady state of the evaluator — invocations sharing a configuration reuse
+// the value scratch without re-zeroing and skip the per-invocation stripe
+// walk (see Run and finish). Callers that Release each result recycle
+// record storage exactly as with Run.
+func (f *Fabric) RunBatch(invs []Invocation, env EvalEnv, dst []ooo.TraceResult) []ooo.TraceResult {
+	for i := range invs {
+		dst = append(dst, f.Run(invs[i], env))
+	}
+	return dst
+}
+
 // resizeUint64s returns s with length n, reusing its backing array when
 // large enough.
 func resizeUint64s(s []uint64, n int) []uint64 {
@@ -520,17 +555,22 @@ func (f *Fabric) finish(res *ooo.TraceResult, cfg *Config, now, maxDone int64, o
 	if f.probe != nil {
 		aborted := !res.ExitMatches || res.MemViolation
 		f.probe.FabricEval(uint64(now), cfg.StartPC, int64(res.Latency), int64(res.Ops), aborted)
-		if cap(f.scratch.perStripe) < f.Geom.Stripes {
-			f.scratch.perStripe = make([]int, f.Geom.Stripes)
+		// The per-stripe occupancy of a configuration is invariant across
+		// its invocations; batched invocations reuse the walk.
+		if f.scratch.stripeCfg != cfg {
+			if cap(f.scratch.perStripe) < f.Geom.Stripes {
+				f.scratch.perStripe = make([]int, f.Geom.Stripes)
+			}
+			perStripe := f.scratch.perStripe[:f.Geom.Stripes]
+			for i := range perStripe {
+				perStripe[i] = 0
+			}
+			for i := range cfg.Insts {
+				perStripe[cfg.Insts[i].Stripe]++
+			}
+			f.scratch.stripeCfg = cfg
 		}
-		perStripe := f.scratch.perStripe[:f.Geom.Stripes]
-		for i := range perStripe {
-			perStripe[i] = 0
-		}
-		for i := range cfg.Insts {
-			perStripe[cfg.Insts[i].Stripe]++
-		}
-		for _, n := range perStripe {
+		for _, n := range f.scratch.perStripe[:f.Geom.Stripes] {
 			if n > 0 {
 				f.probe.ObserveStripeOccupancy(n)
 			}

@@ -16,13 +16,15 @@ import (
 // View is one job's externally visible state, the GET /jobs/{id}
 // response body. Summary listings (GET /jobs) omit Cells.
 type View struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Bench  string `json:"bench"`
-	Mode   string `json:"mode"`
-	Total  int    `json:"total"`
-	Done   int    `json:"done"`
-	Failed int    `json:"failed"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+	// SimPolicy is the job's simulation fidelity (full | ff | sampled).
+	SimPolicy string `json:"sim_policy"`
+	Total     int    `json:"total"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
 	// EtaMS estimates milliseconds to completion from the Tracker's
 	// finished-cell pace; 0 when unknown, finished, or not running.
 	EtaMS float64     `json:"eta_ms"`
@@ -34,12 +36,13 @@ type View struct {
 // caller may release the lock before serializing.
 func (p *Plane) viewLocked(j *job, withCells bool) View {
 	v := View{
-		ID:    j.id,
-		State: j.state,
-		Bench: j.spec.Bench,
-		Mode:  j.spec.Mode,
-		Total: len(j.cells),
-		Error: j.errMsg,
+		ID:        j.id,
+		State:     j.state,
+		Bench:     j.spec.Bench,
+		Mode:      j.spec.Mode,
+		SimPolicy: j.spec.simPolicyName(),
+		Total:     len(j.cells),
+		Error:     j.errMsg,
 	}
 	if v.Mode == "" {
 		v.Mode = "accel-spec"
@@ -278,6 +281,31 @@ func (p *Plane) metricFamilies() []telemetry.ExtraFamily {
 	submitted := len(p.order)
 	queueWait := cloneHist(p.queueWait)
 	turnaround := cloneHist(p.turnaround)
+	// Simulation throughput: instructions (fast-forwarded + detailed) per
+	// wall second, per job and in aggregate, counting only cells simulated
+	// by this process (cache/journal hits carry no wall time). Derived from
+	// journaled wall times, so the plane stays wallclock-clean.
+	var ipsSamples []telemetry.ExtraSample
+	var totInsts, totMS float64
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if j.simWallMS <= 0 {
+			continue
+		}
+		insts := j.ffInsts + j.detailInsts
+		totInsts += insts
+		totMS += j.simWallMS
+		ipsSamples = append(ipsSamples, telemetry.ExtraSample{
+			Labels: []telemetry.Label{
+				{Key: "job_id", Value: j.id},
+				{Key: "sim_policy", Value: j.spec.simPolicyName()},
+			},
+			Value: insts / j.simWallMS * 1e3,
+		})
+	}
+	if totMS > 0 {
+		ipsSamples = append(ipsSamples, telemetry.ExtraSample{Value: totInsts / totMS * 1e3})
+	}
 	p.mu.Unlock()
 	hits, misses, entries := p.cache.Stats()
 
@@ -303,6 +331,8 @@ func (p *Plane) metricFamilies() []telemetry.ExtraFamily {
 			Hist: queueWait},
 		{Name: "dynaspam_job_turnaround_seconds", Help: "Seconds from job submission to its terminal state, from the root span of each job's trace.", Type: "histogram",
 			Hist: turnaround},
+		{Name: "dynaspam_sim_insts_per_second", Help: "Simulated instructions per wall second (fast-forwarded + detailed); unlabeled sample aggregates across jobs, labeled samples break it down per job and fidelity.", Type: "gauge",
+			Samples: ipsSamples},
 	}
 }
 

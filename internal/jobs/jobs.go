@@ -130,6 +130,14 @@ type job struct {
 	cellSpans   []int
 	queueWaitMS float64
 
+	// Fidelity accounting, accumulated from each simulated (not cached or
+	// replayed) cell's journal metrics: instructions fast-forwarded and
+	// committed in detail, and the wall time those cells took. Feeds the
+	// "job finished" log record and the insts-per-second gauge.
+	ffInsts     float64
+	detailInsts float64
+	simWallMS   float64
+
 	// resume state populated by recovery
 	replayed []runner.Entry
 }
@@ -219,7 +227,8 @@ func (p *Plane) startSpans(j *job) {
 		spans.Label{Key: "job_id", Value: j.id},
 		spans.Label{Key: "run_id", Value: p.cfg.RunID},
 		spans.Label{Key: "bench", Value: j.spec.Bench},
-		spans.Label{Key: "mode", Value: mode})
+		spans.Label{Key: "mode", Value: mode},
+		spans.Label{Key: "sim_policy", Value: j.spec.simPolicyName()})
 	j.queueSpan = j.rec.Start(j.rootSpan, "lifecycle", "queue-wait")
 	j.runSpan = -1
 	j.cellSpans = make([]int, len(j.cells))
@@ -451,7 +460,9 @@ func (p *Plane) finishLocked(j *job, state, errMsg string) {
 	}
 	close(j.done)
 	p.log.Info("job finished", "job", j.id, "state", state,
-		"queue_wait_ms", j.queueWaitMS, "run_ms", runMS, "cells_cached", cached)
+		"queue_wait_ms", j.queueWaitMS, "run_ms", runMS, "cells_cached", cached,
+		"sim_policy", j.spec.simPolicyName(),
+		"ff_insts", uint64(j.ffInsts), "detail_insts", uint64(j.detailInsts))
 }
 
 // Done returns a channel closed when the job reaches a terminal state;
@@ -616,6 +627,11 @@ type jobReporter struct {
 
 func (r *jobReporter) SweepStart(name string, total int) {
 	j := r.job
+	if t := r.plane.cfg.Tracker; t != nil && r.inner != nil {
+		// Tag the job's sweep with its fidelity right after the Tracker
+		// learns about it, so /status carries the label from the start.
+		defer t.SetSweepLabels(name, map[string]string{"sim_policy": j.spec.simPolicyName()})
+	}
 	for _, e := range j.replayed {
 		if e.Status == runner.StatusOK && e.Seq >= 0 && e.Seq < total {
 			id := j.rec.Start(j.runSpan, "cell", "cell "+e.Label,
@@ -665,6 +681,14 @@ func (r *jobReporter) RunDone(e runner.Entry) {
 			c.Source = SourceRun
 		}
 		source = c.Source
+	}
+	if e.Status == runner.StatusOK && source == SourceRun && e.Metrics != nil {
+		// Fidelity accounting: only actually simulated cells contribute, so
+		// the derived instructions-per-second throughput is not inflated by
+		// cache or journal hits (whose wall time is near zero).
+		j.ffInsts += e.Metrics["sim_ff_insts"]
+		j.detailInsts += e.Metrics["sim_detail_insts"]
+		j.simWallMS += e.WallMS
 	}
 	if e.Seq >= 0 && e.Seq < len(j.cellSpans) {
 		span = j.cellSpans[e.Seq]

@@ -23,6 +23,25 @@ type Spec struct {
 	TraceLen int `json:"tracelen,omitempty"`
 	// Fabrics overrides the physical fabric count when positive.
 	Fabrics int `json:"fabrics,omitempty"`
+	// SimPolicy selects the simulation fidelity: full | ff | sampled.
+	// Empty means full detail. The policy is part of the result-cache key,
+	// so cells computed at different fidelities never mix.
+	SimPolicy string `json:"sim_policy,omitempty"`
+	// FFInterval/DetailWindow/Warmup override the sampling geometry (in
+	// instructions) when positive; zero keeps the defaults. Only meaningful
+	// with SimPolicy "sampled" (FFInterval also applies to "ff").
+	FFInterval   int `json:"ff_interval,omitempty"`
+	DetailWindow int `json:"detail_window,omitempty"`
+	Warmup       int `json:"warmup,omitempty"`
+}
+
+// simPolicyName returns the spec's fidelity name with the default spelled
+// out, for logs, span labels, and API views.
+func (s Spec) simPolicyName() string {
+	if s.SimPolicy == "" {
+		return "full"
+	}
+	return s.SimPolicy
 }
 
 // ParseMode maps a mode name to its core.Mode. The names match the CLI's
@@ -85,6 +104,18 @@ func (s Spec) Params() (core.Params, error) {
 	if s.Fabrics > 0 {
 		params.NumFabrics = s.Fabrics
 	}
+	simMode, ok := core.ParseSimMode(s.SimPolicy)
+	if !ok {
+		return params, fmt.Errorf("jobs: unknown sim policy %q", s.SimPolicy)
+	}
+	params.Sim.Mode = simMode
+	if s.FFInterval < 0 || s.DetailWindow < 0 || s.Warmup < 0 {
+		return params, fmt.Errorf("jobs: negative sampling geometry (ff_interval=%d detail_window=%d warmup=%d)",
+			s.FFInterval, s.DetailWindow, s.Warmup)
+	}
+	params.Sim.FFInterval = uint64(s.FFInterval)
+	params.Sim.DetailWindow = uint64(s.DetailWindow)
+	params.Sim.Warmup = uint64(s.Warmup)
 	return params, nil
 }
 

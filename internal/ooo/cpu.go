@@ -138,6 +138,13 @@ type CPU struct {
 	pc          int
 	fetchStall  uint64 // fetch blocked until this cycle (icache miss)
 	haltFetched bool
+	// fetchSuppressed stops fetch entirely while the pipeline drains to the
+	// commit point (DrainCtx); squash redirects still update pc but nothing
+	// new enters the front end.
+	fetchSuppressed bool
+	// commitPC is the PC of the next instruction in committed program
+	// order, latched at every commit (the drained machine resumes here).
+	commitPC int
 
 	// Front-end queue (fetched, waiting for rename+dispatch), as a
 	// head-indexed deque over feBuf: pops advance feHead, pushes append.
@@ -364,6 +371,45 @@ func (c *CPU) ArchRegInt(r isa.Reg) int64 { return int64(c.ArchReg(r)) }
 // ArchRegFloat returns the committed FP value of r.
 func (c *CPU) ArchRegFloat(r isa.Reg) float64 { return math.Float64frombits(c.ArchReg(r)) }
 
+// ArchPC returns the PC of the next instruction in committed program order
+// (0 before anything commits). Meaningful as a resume point only once the
+// pipeline is drained (DrainCtx).
+func (c *CPU) ArchPC() int { return c.commitPC }
+
+// SetArchReg installs v as the committed architectural value of r. Legal
+// only on a drained pipeline, where the speculative and committed register
+// maps agree; both maps are updated. Writes to the zero register are
+// discarded. The sampled-simulation driver uses it to write fast-forwarded
+// state back into the machine.
+func (c *CPU) SetArchReg(r isa.Reg, v uint64) {
+	if r == isa.RegZero {
+		return
+	}
+	p := c.committedRAT[r]
+	if p == 0 {
+		// r still maps to the always-zero register: writing zero is a
+		// no-op, anything else needs a real physical register.
+		if v == 0 {
+			return
+		}
+		p = c.freeList[len(c.freeList)-1]
+		c.freeList = c.freeList[:len(c.freeList)-1]
+		c.committedRAT[r] = p
+		c.rat[r] = p
+	}
+	c.regs[p] = physReg{value: v, ready: true, readyAt: c.cycle}
+}
+
+// SetPC redirects fetch (and the committed-order resume point) to pc,
+// clearing any latched halt-fetch or icache stall. Legal only on a drained
+// pipeline.
+func (c *CPU) SetPC(pc int) {
+	c.pc = pc
+	c.commitPC = pc
+	c.haltFetched = false
+	c.fetchStall = 0
+}
+
 // DebugState summarizes the pipeline's head-of-ROB state for deadlock
 // diagnostics.
 func (c *CPU) DebugState() string {
@@ -416,6 +462,63 @@ func (c *CPU) RunCtx(ctx context.Context) error {
 	return nil
 }
 
+// RunCommitsCtx steps the pipeline until at least n more instructions have
+// committed (fabric-executed ops count individually, exactly as in
+// Stats.Committed), the halt commits, or ctx is cancelled. The stop check
+// runs between cycles, so a wide commit may overshoot the quota by up to
+// CommitWidth-1 instructions — deterministically, since the machine itself
+// is deterministic. The sampled-simulation driver in internal/core uses it
+// to delimit warmup and measurement windows.
+func (c *CPU) RunCommitsCtx(ctx context.Context, n uint64) error {
+	budget := c.cfg.MaxCycles
+	if budget == 0 {
+		budget = 2_000_000_000
+	}
+	target := c.stats.Committed + n
+	for !c.stats.HaltSeen && c.stats.Committed < target {
+		if c.cycle >= budget {
+			return fmt.Errorf("ooo: cycle budget %d exhausted at pc %d (deadlock?)", budget, c.pc)
+		}
+		if c.cycle&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("ooo: simulation cancelled at cycle %d: %w", c.cycle, err)
+			}
+		}
+		c.step()
+	}
+	return nil
+}
+
+// DrainCtx suppresses fetch and steps until every in-flight instruction has
+// committed or squashed, leaving the speculative register map equal to the
+// committed one. The drained machine's architectural state (ArchReg, ArchPC,
+// memory) is then a precise resume point: the sampled-simulation driver
+// hands it to the functional interpreter for fast-forwarding. Draining costs
+// simulated cycles like any pipeline flush would.
+func (c *CPU) DrainCtx(ctx context.Context) error {
+	budget := c.cfg.MaxCycles
+	if budget == 0 {
+		budget = 2_000_000_000
+	}
+	c.fetchSuppressed = true
+	defer func() { c.fetchSuppressed = false }()
+	for c.robLen() > 0 || c.feLen() > 0 {
+		if c.stats.HaltSeen {
+			return nil
+		}
+		if c.cycle >= budget {
+			return fmt.Errorf("ooo: cycle budget %d exhausted draining at pc %d (deadlock?)", budget, c.pc)
+		}
+		if c.cycle&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("ooo: drain cancelled at cycle %d: %w", c.cycle, err)
+			}
+		}
+		c.step()
+	}
+	return nil
+}
+
 // step advances one cycle. Stages run back-to-front so same-cycle
 // producer→consumer flow matches a real pipeline's latch behaviour.
 func (c *CPU) step() {
@@ -434,7 +537,7 @@ func (c *CPU) step() {
 // ---------------------------------------------------------------- fetch --
 
 func (c *CPU) fetch() {
-	if c.haltFetched || c.cycle < c.fetchStall {
+	if c.fetchSuppressed || c.haltFetched || c.cycle < c.fetchStall {
 		return
 	}
 	// Front-end queue backpressure.
@@ -1511,7 +1614,13 @@ func (c *CPU) commitInst(e *ROBEntry) {
 	c.stats.Committed++
 	if in.Op == isa.OpHalt {
 		c.stats.HaltSeen = true
+		c.commitPC = e.PC
 		return
+	}
+	if in.Op.IsBranch() && e.Taken {
+		c.commitPC = e.Target
+	} else {
+		c.commitPC = e.PC + 1
 	}
 	if e.PhysDest >= 0 {
 		old := c.committedRAT[in.Dest]
@@ -1539,6 +1648,7 @@ func (c *CPU) commitTrace(e *ROBEntry) {
 	res := e.TraceRes
 	c.stats.Committed += uint64(res.Ops)
 	c.stats.TraceCommittedOps += uint64(res.Ops)
+	c.commitPC = e.Trace.ExitPC
 	for i := range res.Stores {
 		st := &res.Stores[i]
 		c.mem.Write64(st.Addr, st.Value)

@@ -46,6 +46,9 @@ type SweepStatus struct {
 	// cells; 0 when unknown (nothing finished yet) or the sweep is over.
 	EtaMS float64      `json:"eta_ms"`
 	Cells []CellStatus `json:"cells"`
+	// Labels carries caller-attached annotations (e.g. the jobs plane tags
+	// each job sweep with its sim_policy fidelity).
+	Labels map[string]string `json:"labels,omitempty"`
 }
 
 // Status is the /status response body.
@@ -63,6 +66,7 @@ type sweepState struct {
 	start  time.Time
 	end    time.Time // zero while active
 	cells  []CellStatus
+	labels map[string]string
 }
 
 // Tracker is the live sweep observer behind /status and /events. It
@@ -134,6 +138,17 @@ func (t *Tracker) SweepEnd(name string) {
 	t.appendEventLocked("sweep_end", mustJSON(map[string]any{"sweep": name}))
 	t.mu.Unlock()
 	t.wake()
+}
+
+// SetSweepLabels attaches annotations to the most recent sweep with the
+// given name, shown verbatim in /status. Call after the sweep has started;
+// unknown names are ignored.
+func (t *Tracker) SetSweepLabels(name string, labels map[string]string) {
+	t.mu.Lock()
+	if s := t.findLocked(name); s != nil {
+		s.labels = labels
+	}
+	t.mu.Unlock()
 }
 
 // findLocked returns the most recent sweep with the given name (serve
@@ -227,6 +242,7 @@ func (t *Tracker) Status() Status {
 			Failed: s.failed,
 			Active: s.end.IsZero(),
 			Cells:  append([]CellStatus(nil), s.cells...),
+			Labels: s.labels,
 		}
 		end := s.end
 		if ss.Active {

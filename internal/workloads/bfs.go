@@ -12,75 +12,104 @@ import (
 // branches are data dependent and unbiased, which is exactly why the paper's
 // BFS has the shortest configuration lifetimes (Table 5).
 //
-// Memory layout:
+// Memory layout (offsets derived from the node count):
 //
-//	start:  bfsStart int64[bfsNodes]   // CSR edge offsets
-//	count:  bfsCount int64[bfsNodes]   // out degree
-//	edges:  bfsEdges int64[bfsEdgesMax]
-//	cost:   bfsCost  int64[bfsNodes]   // -1 = unvisited
-//	flag:   bfsFlag  int64             // set when any node updated
+//	start:  int64[nodes]    // CSR edge offsets
+//	count:  int64[nodes]    // out degree
+//	edges:  int64[nodes*degree]
+//	cost:   int64[nodes]    // -1 = unvisited
+//	flag:   int64           // set when any node updated
 const (
-	bfsNodes    = 384
-	bfsDegree   = 4
-	bfsEdgesMax = bfsNodes * bfsDegree
-
-	bfsStart = 0
-	bfsCount = bfsStart + bfsNodes*8
-	bfsEdges = bfsCount + bfsNodes*8
-	bfsCost  = bfsEdges + bfsEdgesMax*8
-	bfsFlag  = bfsCost + bfsNodes*8
+	bfsNodes  = 384
+	bfsDegree = 4
 )
 
-// BFS builds the breadth-first search workload.
-func BFS() *Workload {
+// bfsLayout computes the memory offsets for a given graph size. The kernel,
+// initializer, and golden reference all derive from it, so the base and
+// scaled variants share one implementation.
+type bfsLayout struct {
+	nodes    int64
+	edgesMax int64
+	start    int64
+	count    int64
+	edges    int64
+	cost     int64
+	flag     int64
+}
+
+func bfsLayoutFor(nodes int64) bfsLayout {
+	l := bfsLayout{nodes: nodes, edgesMax: nodes * bfsDegree}
+	l.start = 0
+	l.count = l.start + nodes*8
+	l.edges = l.count + nodes*8
+	l.cost = l.edges + l.edgesMax*8
+	l.flag = l.cost + nodes*8
+	return l
+}
+
+// BFS builds the breadth-first search workload at the paper's scale.
+func BFS() *Workload { return bfsSized("bfs", "BFS", 1) }
+
+// BFSScaled builds a BFS variant whose graph has scale× the base node count
+// (same degree distribution, same LCG seed). Used by the production-sized
+// sampling experiments; the base BFS() stays bit-identical.
+func BFSScaled(scale int64) *Workload {
+	w := bfsSized("bfs", "BFS", scale)
+	w.Name = sprintfScaled("Breadth-First Search", scale)
+	w.Abbrev = sprintfAbbrev("BFS", scale)
+	return w
+}
+
+func bfsSized(progName, abbrev string, scale int64) *Workload {
+	l := bfsLayoutFor(bfsNodes * scale)
 	return &Workload{
 		Name:     "Breadth-First Search",
-		Abbrev:   "BFS",
+		Abbrev:   abbrev,
 		Domain:   "Graph Algorithms",
-		Prog:     bfsProg(),
-		Init:     bfsInit,
-		Golden:   bfsGolden,
-		MaxInsts: 3_000_000,
+		Prog:     bfsProg(progName, l),
+		Init:     func(m *mem.Memory) { bfsInit(m, l) },
+		Golden:   func(m *mem.Memory) { bfsGolden(m, l) },
+		MaxInsts: uint64(4_000_000 * scale),
 	}
 }
 
-func bfsInit(m *mem.Memory) {
+func bfsInit(m *mem.Memory, l bfsLayout) {
 	r := newLCG(202)
 	off := int64(0)
-	for v := 0; v < bfsNodes; v++ {
+	for v := int64(0); v < l.nodes; v++ {
 		deg := 1 + r.intn(bfsDegree)
-		m.WriteInt(uint64(bfsStart+v*8), off)
-		m.WriteInt(uint64(bfsCount+v*8), deg)
+		m.WriteInt(uint64(l.start+v*8), off)
+		m.WriteInt(uint64(l.count+v*8), deg)
 		for e := int64(0); e < deg; e++ {
-			m.WriteInt(uint64(bfsEdges)+uint64(off+e)*8, r.intn(bfsNodes))
+			m.WriteInt(uint64(l.edges)+uint64(off+e)*8, r.intn(l.nodes))
 		}
 		off += deg
 	}
-	for v := 0; v < bfsNodes; v++ {
-		m.WriteInt(uint64(bfsCost+v*8), -1)
+	for v := int64(0); v < l.nodes; v++ {
+		m.WriteInt(uint64(l.cost+v*8), -1)
 	}
-	m.WriteInt(uint64(bfsCost), 0) // source node 0
+	m.WriteInt(uint64(l.cost), 0) // source node 0
 }
 
-func bfsGolden(m *mem.Memory) {
+func bfsGolden(m *mem.Memory, l bfsLayout) {
 	depth := int64(0)
 	for {
 		changed := int64(0)
-		for v := 0; v < bfsNodes; v++ {
-			if m.ReadInt(uint64(bfsCost+v*8)) != depth {
+		for v := int64(0); v < l.nodes; v++ {
+			if m.ReadInt(uint64(l.cost+v*8)) != depth {
 				continue
 			}
-			start := m.ReadInt(uint64(bfsStart + v*8))
-			deg := m.ReadInt(uint64(bfsCount + v*8))
+			start := m.ReadInt(uint64(l.start + v*8))
+			deg := m.ReadInt(uint64(l.count + v*8))
 			for e := int64(0); e < deg; e++ {
-				n := m.ReadInt(uint64(bfsEdges) + uint64(start+e)*8)
-				if m.ReadInt(uint64(bfsCost)+uint64(n)*8) == -1 {
-					m.WriteInt(uint64(bfsCost)+uint64(n)*8, depth+1)
+				n := m.ReadInt(uint64(l.edges) + uint64(start+e)*8)
+				if m.ReadInt(uint64(l.cost)+uint64(n)*8) == -1 {
+					m.WriteInt(uint64(l.cost)+uint64(n)*8, depth+1)
 					changed = 1
 				}
 			}
 		}
-		m.WriteInt(uint64(bfsFlag), changed)
+		m.WriteInt(uint64(l.flag), changed)
 		if changed == 0 {
 			return
 		}
@@ -88,8 +117,8 @@ func bfsGolden(m *mem.Memory) {
 	}
 }
 
-func bfsProg() *program.Program {
-	b := program.NewBuilder("bfs")
+func bfsProg(name string, l bfsLayout) *program.Program {
+	b := program.NewBuilder(name)
 	rDepth := isa.R(1)
 	rV := isa.R(2)
 	rNodes := isa.R(3)
@@ -106,7 +135,7 @@ func bfsProg() *program.Program {
 	rD1 := isa.R(14) // depth+1
 
 	b.Li(rDepth, 0)
-	b.Li(rNodes, bfsNodes)
+	b.Li(rNodes, l.nodes)
 	b.Li(rMinus1, -1)
 
 	b.Label("sweep")
@@ -114,21 +143,21 @@ func bfsProg() *program.Program {
 	b.Li(rV, 0)
 	b.Label("node")
 	b.Shli(rT, rV, 3)
-	b.Ld(rCost, rT, bfsCost)
+	b.Ld(rCost, rT, l.cost)
 	b.Bne(rCost, rDepth, "next_node")
-	b.Ld(rStart, rT, bfsStart)
-	b.Ld(rDeg, rT, bfsCount)
+	b.Ld(rStart, rT, l.start)
+	b.Ld(rDeg, rT, l.count)
 	// Bottom-tested edge loop (every node has degree >= 1).
 	b.Li(rE, 0)
 	b.Label("edge")
 	b.Add(rT, rStart, rE)
 	b.Shli(rT, rT, 3)
-	b.Ld(rNbr, rT, bfsEdges)
+	b.Ld(rNbr, rT, l.edges)
 	b.Shli(rNA, rNbr, 3)
-	b.Ld(rNC, rNA, bfsCost)
+	b.Ld(rNC, rNA, l.cost)
 	b.Bne(rNC, rMinus1, "next_edge")
 	b.Addi(rD1, rDepth, 1)
-	b.St(rNA, bfsCost, rD1)
+	b.St(rNA, l.cost, rD1)
 	b.Li(rChanged, 1)
 	b.Label("next_edge")
 	b.Addi(rE, rE, 1)
@@ -137,7 +166,7 @@ func bfsProg() *program.Program {
 	b.Addi(rV, rV, 1)
 	b.Blt(rV, rNodes, "node")
 
-	b.St(isa.R(0), bfsFlag, rChanged)
+	b.St(isa.R(0), l.flag, rChanged)
 	b.Addi(rDepth, rDepth, 1)
 	b.Bne(rChanged, isa.R(0), "sweep")
 	b.Halt()

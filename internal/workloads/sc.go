@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// SC mirrors the inner loop of streamcluster's pgain: each round proposes a
+// candidate center and every point compares its current assignment cost
+// against the candidate's; points that would get closer reassign and the
+// saving accumulates. Unlike Kmeans' branchless argmin, the reassignment is
+// a genuine unbiased data-dependent branch guarding a store, giving sampled
+// simulation a second control-flow-irregular FP workload.
+//
+// Memory layout (offsets derived from the point count):
+//
+//	pts:    float64[n][scD]
+//	ctr:    float64[scK][scD]
+//	assign: int64[n]
+//	saving: float64
+const (
+	scPoints = 192
+	scD      = 8
+	scK      = 6
+	scRounds = 3 // candidate = round+1, so scRounds < scK
+)
+
+type scLayout struct {
+	n      int64
+	pts    int64
+	ctr    int64
+	assign int64
+	saving int64
+}
+
+func scLayoutFor(n int64) scLayout {
+	l := scLayout{n: n}
+	l.pts = 0
+	l.ctr = l.pts + n*scD*8
+	l.assign = l.ctr + scK*scD*8
+	l.saving = l.assign + n*8
+	return l
+}
+
+// SC builds the streamcluster-like workload.
+func SC() *Workload { return scSized(1) }
+
+// SCScaled builds an SC variant with scale× the base point count.
+func SCScaled(scale int64) *Workload {
+	w := scSized(scale)
+	w.Abbrev = sprintfAbbrev("SC", scale)
+	return w
+}
+
+func scSized(scale int64) *Workload {
+	l := scLayoutFor(scPoints * scale)
+	return &Workload{
+		Name:     "Streamcluster",
+		Abbrev:   "SC",
+		Domain:   "Data Mining",
+		Prog:     scProg(l),
+		Init:     func(m *mem.Memory) { scInit(m, l) },
+		Golden:   func(m *mem.Memory) { scGolden(m, l) },
+		MaxInsts: uint64(2_000_000 * scale),
+	}
+}
+
+func scInit(m *mem.Memory, l scLayout) {
+	r := newLCG(707)
+	for i := int64(0); i < l.n*scD; i++ {
+		m.WriteFloat(uint64(l.pts+i*8), 10*r.float01())
+	}
+	for i := 0; i < scK*scD; i++ {
+		m.WriteFloat(uint64(l.ctr)+uint64(i)*8, 10*r.float01())
+	}
+	for i := int64(0); i < l.n; i++ {
+		m.WriteInt(uint64(l.assign+i*8), 0)
+	}
+}
+
+func scGolden(m *mem.Memory, l scLayout) {
+	dist := func(p, c int64) float64 {
+		d := 0.0
+		for j := int64(0); j < scD; j++ {
+			diff := m.ReadFloat(uint64(l.pts+(p*scD+j)*8)) - m.ReadFloat(uint64(l.ctr)+uint64(c*scD+j)*8)
+			d = d + diff*diff
+		}
+		return d
+	}
+	saving := 0.0
+	for round := int64(0); round < scRounds; round++ {
+		cand := round + 1
+		for i := int64(0); i < l.n; i++ {
+			a := m.ReadInt(uint64(l.assign + i*8))
+			d1 := dist(i, a)
+			d2 := dist(i, cand)
+			if d2 < d1 {
+				m.WriteInt(uint64(l.assign+i*8), cand)
+				saving = saving + (d1 - d2)
+			}
+		}
+	}
+	m.WriteFloat(uint64(l.saving), saving)
+}
+
+func scProg(l scLayout) *program.Program {
+	b := program.NewBuilder("sc")
+	rRound := isa.R(1)
+	rNR := isa.R(2)
+	rI := isa.R(3)
+	rN := isa.R(4)
+	rJ := isa.R(5)
+	rD := isa.R(6)
+	rCand := isa.R(7)
+	rCB := isa.R(8) // &ctr[cand][0]
+	rPA := isa.R(9) // &pts[i][0]
+	rA := isa.R(10)
+	rAB := isa.R(11) // &ctr[assign][0]
+	rT := isa.R(12)
+	rT2 := isa.R(13)
+	rCmp := isa.R(14)
+
+	fD1 := isa.F(1)
+	fD2 := isa.F(2)
+	fA := isa.F(3)
+	fB := isa.F(4)
+	fDiff := isa.F(5)
+	fSav := isa.F(6)
+
+	b.Li(rNR, scRounds)
+	b.Li(rN, l.n)
+	b.Li(rD, scD)
+	b.FLi(fSav, 0.0)
+	b.Li(rRound, 0)
+
+	b.Label("round")
+	b.Addi(rCand, rRound, 1)
+	b.Muli(rCB, rCand, scD*8)
+	b.Addi(rCB, rCB, l.ctr)
+	b.Li(rI, 0)
+	b.Label("point")
+	b.Muli(rPA, rI, scD*8)
+	b.Shli(rT, rI, 3)
+	b.Ld(rA, rT, l.assign)
+	b.Muli(rAB, rA, scD*8)
+	b.Addi(rAB, rAB, l.ctr)
+	// d1 = |pt - ctr[assign]|²
+	b.FLi(fD1, 0.0)
+	b.Li(rJ, 0)
+	b.Label("dim1")
+	b.Shli(rT, rJ, 3)
+	b.Add(rT2, rT, rPA)
+	b.FLd(fA, rT2, l.pts)
+	b.Add(rT2, rT, rAB)
+	b.FLd(fB, rT2, 0)
+	b.FSub(fDiff, fA, fB)
+	b.FMul(fDiff, fDiff, fDiff)
+	b.FAdd(fD1, fD1, fDiff)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rD, "dim1")
+	// d2 = |pt - ctr[cand]|²
+	b.FLi(fD2, 0.0)
+	b.Li(rJ, 0)
+	b.Label("dim2")
+	b.Shli(rT, rJ, 3)
+	b.Add(rT2, rT, rPA)
+	b.FLd(fA, rT2, l.pts)
+	b.Add(rT2, rT, rCB)
+	b.FLd(fB, rT2, 0)
+	b.FSub(fDiff, fA, fB)
+	b.FMul(fDiff, fDiff, fDiff)
+	b.FAdd(fD2, fD2, fDiff)
+	b.Addi(rJ, rJ, 1)
+	b.Blt(rJ, rD, "dim2")
+	// Reassign if the candidate is strictly closer.
+	b.FSlt(rCmp, fD2, fD1)
+	b.Beq(rCmp, isa.R(0), "skip")
+	b.Shli(rT, rI, 3)
+	b.St(rT, l.assign, rCand)
+	b.FSub(fDiff, fD1, fD2)
+	b.FAdd(fSav, fSav, fDiff)
+	b.Label("skip")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "point")
+	b.Addi(rRound, rRound, 1)
+	b.Blt(rRound, rNR, "round")
+
+	b.FSt(isa.R(0), l.saving, fSav)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,40 @@
+// Scaled workload variants for the simulation-fidelity experiments: the
+// base kernels stay at the paper's laptop scale (and their goldens stay
+// bit-identical), while the ×100/×1000 variants give sampled simulation a
+// production-sized instruction stream to skip through.
+package workloads
+
+import "fmt"
+
+// sprintfAbbrev derives the short code of a scaled variant, e.g. "BFSX100".
+func sprintfAbbrev(base string, scale int64) string {
+	if scale == 1 {
+		return base
+	}
+	return fmt.Sprintf("%sX%d", base, scale)
+}
+
+// sprintfScaled derives the display name of a scaled variant.
+func sprintfScaled(name string, scale int64) string {
+	if scale == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s (%d× input)", name, scale)
+}
+
+// Extended returns every workload the simulator knows: the paper's eleven
+// (exactly All(), in the same order), the two extra kernels, and the scaled
+// variants. All() stays the sweep default so figure sweeps keep matching the
+// paper; scaled variants are opt-in by abbreviation.
+func Extended() []*Workload {
+	ws := All()
+	ws = append(ws,
+		SPMV(),
+		SC(),
+		BFSScaled(100),
+		BFSScaled(1000),
+		SPMVScaled(100),
+		SCScaled(100),
+	)
+	return ws
+}

@@ -16,9 +16,10 @@ func TestBFSDistancesAreValid(t *testing.T) {
 	// edge (u,v) with cost[u] >= 0 implies cost[v] <= cost[u]+1 (when
 	// reached) and reachable nodes have the minimal level structure:
 	// a node with cost d>0 must have an in-neighbour with cost d-1.
+	l := bfsLayoutFor(bfsNodes)
 	cost := make([]int64, bfsNodes)
 	for v := 0; v < bfsNodes; v++ {
-		cost[v] = m.ReadInt(uint64(bfsCost + v*8))
+		cost[v] = m.ReadInt(uint64(l.cost + int64(v)*8))
 	}
 	if cost[0] != 0 {
 		t.Fatalf("source cost = %d", cost[0])
@@ -28,10 +29,10 @@ func TestBFSDistancesAreValid(t *testing.T) {
 		if cost[u] < 0 {
 			continue
 		}
-		start := m.ReadInt(uint64(bfsStart + u*8))
-		deg := m.ReadInt(uint64(bfsCount + u*8))
+		start := m.ReadInt(uint64(l.start + int64(u)*8))
+		deg := m.ReadInt(uint64(l.count + int64(u)*8))
 		for e := int64(0); e < deg; e++ {
-			v := m.ReadInt(uint64(bfsEdges) + uint64(start+e)*8)
+			v := m.ReadInt(uint64(l.edges) + uint64(start+e)*8)
 			if cost[v] < 0 {
 				t.Errorf("edge %d->%d: reachable node unvisited", u, v)
 			} else if cost[v] > cost[u]+1 {
@@ -50,10 +51,10 @@ func TestBFSDistancesAreValid(t *testing.T) {
 			if cost[u] != d-1 {
 				continue
 			}
-			start := m.ReadInt(uint64(bfsStart + u*8))
-			deg := m.ReadInt(uint64(bfsCount + u*8))
+			start := m.ReadInt(uint64(l.start + int64(u)*8))
+			deg := m.ReadInt(uint64(l.count + int64(u)*8))
 			for e := int64(0); e < deg; e++ {
-				if m.ReadInt(uint64(bfsEdges)+uint64(start+e)*8) == int64(v) {
+				if m.ReadInt(uint64(l.edges)+uint64(start+e)*8) == int64(v) {
 					found = true
 					break
 				}

@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"dynaspam/internal/isa"
+	"dynaspam/internal/mem"
+	"dynaspam/internal/program"
+)
+
+// SPMV is a CSR sparse matrix-vector multiply: y = A·x with A stored as
+// per-row (start, length) into packed column/value arrays. The kernel is the
+// classic irregular-gather shape — the inner loop's load address depends on
+// a loaded column index — with a biased bottom-tested edge loop, which makes
+// it a good complement to BFS (integer, unbiased branches) for the sampling
+// experiments.
+//
+// Memory layout (offsets derived from the row count):
+//
+//	rowstart: int64[n]      // CSR offsets into cols/vals
+//	rowlen:   int64[n]      // nonzeros per row (>= 1)
+//	cols:     int64[nnzMax]
+//	vals:     float64[nnzMax]
+//	x:        float64[n]
+//	y:        float64[n]
+const (
+	spmvRows   = 512
+	spmvMaxDeg = 8
+)
+
+type spmvLayout struct {
+	n        int64
+	nnzMax   int64
+	rowstart int64
+	rowlen   int64
+	cols     int64
+	vals     int64
+	x        int64
+	y        int64
+}
+
+func spmvLayoutFor(n int64) spmvLayout {
+	l := spmvLayout{n: n, nnzMax: n * spmvMaxDeg}
+	l.rowstart = 0
+	l.rowlen = l.rowstart + n*8
+	l.cols = l.rowlen + n*8
+	l.vals = l.cols + l.nnzMax*8
+	l.x = l.vals + l.nnzMax*8
+	l.y = l.x + n*8
+	return l
+}
+
+// SPMV builds the sparse matrix-vector multiply workload.
+func SPMV() *Workload { return spmvSized(1) }
+
+// SPMVScaled builds an SPMV variant with scale× the base row count.
+func SPMVScaled(scale int64) *Workload {
+	w := spmvSized(scale)
+	w.Abbrev = sprintfAbbrev("SPMV", scale)
+	return w
+}
+
+func spmvSized(scale int64) *Workload {
+	l := spmvLayoutFor(spmvRows * scale)
+	return &Workload{
+		Name:     "Sparse Matrix-Vector Multiply",
+		Abbrev:   "SPMV",
+		Domain:   "Sparse Linear Algebra",
+		Prog:     spmvProg(l),
+		Init:     func(m *mem.Memory) { spmvInit(m, l) },
+		Golden:   func(m *mem.Memory) { spmvGolden(m, l) },
+		MaxInsts: uint64(1_000_000 * scale),
+	}
+}
+
+func spmvInit(m *mem.Memory, l spmvLayout) {
+	r := newLCG(909)
+	off := int64(0)
+	for i := int64(0); i < l.n; i++ {
+		deg := 1 + r.intn(spmvMaxDeg)
+		m.WriteInt(uint64(l.rowstart+i*8), off)
+		m.WriteInt(uint64(l.rowlen+i*8), deg)
+		for e := int64(0); e < deg; e++ {
+			m.WriteInt(uint64(l.cols)+uint64(off+e)*8, r.intn(l.n))
+			m.WriteFloat(uint64(l.vals)+uint64(off+e)*8, 2*r.float01()-1)
+		}
+		off += deg
+	}
+	for i := int64(0); i < l.n; i++ {
+		m.WriteFloat(uint64(l.x+i*8), 2*r.float01()-1)
+	}
+}
+
+func spmvGolden(m *mem.Memory, l spmvLayout) {
+	for i := int64(0); i < l.n; i++ {
+		start := m.ReadInt(uint64(l.rowstart + i*8))
+		deg := m.ReadInt(uint64(l.rowlen + i*8))
+		acc := 0.0
+		for e := int64(0); e < deg; e++ {
+			c := m.ReadInt(uint64(l.cols) + uint64(start+e)*8)
+			v := m.ReadFloat(uint64(l.vals) + uint64(start+e)*8)
+			acc = acc + v*m.ReadFloat(uint64(l.x)+uint64(c)*8)
+		}
+		m.WriteFloat(uint64(l.y+i*8), acc)
+	}
+}
+
+func spmvProg(l spmvLayout) *program.Program {
+	b := program.NewBuilder("spmv")
+	rI := isa.R(1)
+	rN := isa.R(2)
+	rS := isa.R(3) // row start
+	rD := isa.R(4) // row length
+	rE := isa.R(5) // nonzero index
+	rT := isa.R(6)
+	rT2 := isa.R(7)
+	rC := isa.R(8)  // column index
+	rCA := isa.R(9) // &x[c]
+
+	fAcc := isa.F(1)
+	fV := isa.F(2)
+	fX := isa.F(3)
+
+	b.Li(rN, l.n)
+	b.Li(rI, 0)
+	b.Label("row")
+	b.Shli(rT, rI, 3)
+	b.Ld(rS, rT, l.rowstart)
+	b.Ld(rD, rT, l.rowlen)
+	b.FLi(fAcc, 0.0)
+	// Bottom-tested nonzero loop (every row has at least one entry).
+	b.Li(rE, 0)
+	b.Label("nz")
+	b.Add(rT2, rS, rE)
+	b.Shli(rT2, rT2, 3)
+	b.Ld(rC, rT2, l.cols)
+	b.FLd(fV, rT2, l.vals)
+	b.Shli(rCA, rC, 3)
+	b.FLd(fX, rCA, l.x)
+	b.FMul(fV, fV, fX)
+	b.FAdd(fAcc, fAcc, fV)
+	b.Addi(rE, rE, 1)
+	b.Blt(rE, rD, "nz")
+	b.Shli(rT, rI, 3)
+	b.FSt(rT, l.y, fAcc)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "row")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -68,9 +68,10 @@ func All() []*Workload {
 	}
 }
 
-// ByAbbrev returns the workload with the given short code, or an error.
+// ByAbbrev returns the workload with the given short code, or an error. It
+// searches the extended set, so scaled variants (e.g. "BFSX100") resolve too.
 func ByAbbrev(abbrev string) (*Workload, error) {
-	for _, w := range All() {
+	for _, w := range Extended() {
 		if w.Abbrev == abbrev {
 			return w, nil
 		}
