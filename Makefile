@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke bench bench-baseline bench-compare figures trace-smoke serve-smoke jobs-smoke check
+.PHONY: all build test race vet lint bench-smoke bench bench-baseline bench-compare figures trace-smoke explain-smoke serve-smoke jobs-smoke check
 
 # Benchmarks covered by the regression gate: the two hot-loop
 # micro-benchmarks plus the end-to-end figure benchmarks whose history
 # BENCH_4.json records.
-BENCH_GATE = BenchmarkCPUStep|BenchmarkFabricInvoke|BenchmarkBatchedFabricInvoke|BenchmarkBaselinePipeline|BenchmarkFastForwardPipeline|BenchmarkSampledPipeline|BenchmarkTraceOverhead|BenchmarkSpanOverhead
+BENCH_GATE = BenchmarkCPUStep|BenchmarkCPIStackOverhead|BenchmarkFabricInvoke|BenchmarkBatchedFabricInvoke|BenchmarkBaselinePipeline|BenchmarkFastForwardPipeline|BenchmarkSampledPipeline|BenchmarkTraceOverhead|BenchmarkSpanOverhead
 
 all: check
 
@@ -73,8 +73,11 @@ trace-smoke:
 	"$$dir/dynaspam" -bench BP,NW -j 1 -trace "$$dir/b.json" -pipeview "$$dir/b.kanata" >/dev/null; \
 	cmp "$$dir/a.json" "$$dir/b.json" && cmp "$$dir/a.kanata" "$$dir/b.kanata"; \
 	grep -q '^{"traceEvents":\[$$' "$$dir/a.json"; \
+	grep -q '"name":"cpi_stack"' "$$dir/a.json" || { echo "trace lacks cpi_stack counter track"; exit 1; }; \
+	grep -q '"name":"stripe_occupancy"' "$$dir/a.json" || { echo "trace lacks stripe_occupancy counter track"; exit 1; }; \
 	"$$dir/dynaspam" lint-trace "$$dir/a.json" >/dev/null; \
 	$(GO) run ./cmd/pipeview -validate "$$dir/a.kanata"; \
+	$(GO) run ./cmd/tracedump -bench NW -n 2 -validate >/dev/null; \
 	"$$dir/dynaspam" serve -addr 127.0.0.1:0 -state "$$dir/state" 2>"$$dir/serve.log" & pid=$$!; \
 	addr=; for i in $$(seq 1 100); do \
 	  addr=$$(sed -n 's/.*msg="telemetry listening".*addr=\([0-9.:]*\).*/\1/p' "$$dir/serve.log"); \
@@ -92,6 +95,21 @@ trace-smoke:
 	grep -q '"name":"journal-flush"' "$$dir/job.json" || { echo "job trace lacks lifecycle spans:"; cat "$$dir/job.json"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "trace-smoke OK"
+
+# Cycle-accounting smoke test: run `dynaspam explain` on the BFS
+# baseline-vs-accel pair twice, require byte-identical output (the stacks
+# are deterministic), an internally sum-exact stack (explain exits non-zero
+# on any violation), and a nonzero fabric share on the accelerated run.
+explain-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/dynaspam" ./cmd/dynaspam; \
+	"$$dir/dynaspam" explain -bench BFS >"$$dir/a.txt"; \
+	"$$dir/dynaspam" explain -bench BFS >"$$dir/b.txt"; \
+	cmp "$$dir/a.txt" "$$dir/b.txt"; \
+	grep -q 'fabric_eval' "$$dir/a.txt" || { echo "explain output lacks fabric_eval attribution:"; cat "$$dir/a.txt"; exit 1; }; \
+	"$$dir/dynaspam" explain -bench BFS -json >"$$dir/a.json"; \
+	grep -q '"top_regressing_cause"' "$$dir/a.json"; \
+	echo "explain-smoke OK"
 
 # Live telemetry smoke test: bring up `dynaspam serve` on an ephemeral
 # port, discover the bound address from the structured "telemetry

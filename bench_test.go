@@ -332,6 +332,38 @@ func BenchmarkCPUStep(b *testing.B) {
 	}
 }
 
+// BenchmarkCPIStackOverhead measures the per-cycle cost of the pipeline
+// with cycle accounting exercised on the same saturated register loop as
+// BenchmarkCPUStep: classification runs once per counted cycle, so comparing
+// the two benchmarks' ns/op isolates what attribution adds to the OOO loop.
+// Attribution must stay at 0 allocs/op (the stack is a fixed array embedded
+// in the CPU), and the stack must sum exactly to the cycles simulated.
+func BenchmarkCPIStackOverhead(b *testing.B) {
+	p := program.NewBuilder("cpistep").
+		Label("loop").
+		Add(isa.R(3), isa.R(1), isa.R(2)).
+		Add(isa.R(4), isa.R(3), isa.R(2)).
+		Add(isa.R(5), isa.R(4), isa.R(1)).
+		Add(isa.R(6), isa.R(5), isa.R(2)).
+		Jmp("loop").
+		Halt().
+		MustBuild()
+	cfg := ooo.DefaultConfig()
+	cfg.MaxCycles = uint64(b.N)
+	cpu := ooo.New(cfg, p, mem.New(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	// The infinite loop exits via the cycle budget; that error is the
+	// benchmark's intended stop condition, not a failure.
+	if err := cpu.Run(); err == nil {
+		b.Fatal("infinite loop halted unexpectedly")
+	}
+	b.StopTimer()
+	if total := cpu.CPIStack().Total(); total != cpu.Stats().Cycles {
+		b.Fatalf("CPI stack sums to %d over %d cycles", total, cpu.Stats().Cycles)
+	}
+}
+
 // BenchmarkFabricInvoke measures one fabric invocation end to end — operand
 // arrival, dataflow scheduling, functional evaluation, live-out extraction —
 // on a real trace mapped by the resource-aware mapper. Results are released

@@ -18,6 +18,8 @@
 //
 //	dynaspam -bench NW -trace out.json        # Chrome trace events (Perfetto)
 //	dynaspam -bench NW -pipeview out.kanata   # Konata-style pipeline view
+//	dynaspam explain -bench BFS               # baseline-vs-accel CPI stacks
+//	dynaspam explain -bench all -json         # same, machine-readable
 //	dynaspam -bench all -cpuprofile cpu.prof  # profile the simulator itself
 //	dynaspam -bench all -serve :8080          # live telemetry during the sweep
 //	dynaspam serve -addr :8080 -state dir     # multi-tenant sweep job server
@@ -77,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		switch args[0] {
 		case "serve":
 			return runServe(args[1:], stderr)
+		case "explain":
+			return runExplain(args[1:], stdout, stderr)
 		case "lint-metrics":
 			return runLintMetrics(args[1:], stdout, stderr)
 		case "lint-trace":

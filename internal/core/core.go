@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"dynaspam/internal/cfgcache"
+	"dynaspam/internal/cpistack"
 	"dynaspam/internal/fabric"
 	"dynaspam/internal/isa"
 	"dynaspam/internal/mapper"
@@ -180,6 +181,12 @@ type System struct {
 	// occupancy probe point.
 	probe         *probe.Probe
 	inflightTotal int
+
+	// cpiPrev is the last CPI-stack snapshot emitted to the probe's
+	// counter track; the sampler sends per-cause deltas against it.
+	// cpiPrevEst mirrors the synthetic estimated bucket the same way.
+	cpiPrev    [cpistack.NumCauses]uint64
+	cpiPrevEst uint64
 }
 
 type keyHealth struct {
@@ -259,9 +266,56 @@ func (s *System) SetProbe(p *probe.Probe) {
 	s.tc.SetProbe(p)
 	s.cc.SetProbe(p)
 	s.fabs.SetProbe(p)
+	if p != nil {
+		s.cpu.SetCPISampler(s.emitCPISamples)
+	} else {
+		s.cpu.SetCPISampler(nil)
+	}
 	if s.params.Mode == ModeBaseline && p != nil {
 		s.cpu.SetHooks(s.observeHooks())
 	}
+}
+
+// emitCPISamples sends the per-cause cycle deltas accumulated since the last
+// sample to the probe as EvCPISample events (the Perfetto counter track).
+// Attribution itself lives in the pipeline's stack; this only reads it, so a
+// probed run stays cycle-identical to an unprobed one.
+func (s *System) emitCPISamples(cycle uint64) {
+	if s.probe == nil {
+		return
+	}
+	st := s.cpu.CPIStack()
+	for i, v := range st.Buckets {
+		if d := v - s.cpiPrev[i]; d > 0 {
+			s.probe.CPISample(cycle, int64(i), int64(d))
+			s.cpiPrev[i] = v
+		}
+	}
+}
+
+// FlushCPISamples emits the final CPI-stack deltas (including the synthetic
+// estimated bucket of reduced-fidelity runs) so the counter track's running
+// totals reach the run's exact stack. Call once after the run completes.
+func (s *System) FlushCPISamples() {
+	if s.probe == nil {
+		return
+	}
+	cycle := s.cpu.Cycle()
+	s.emitCPISamples(cycle)
+	if est := uint64(s.simFFCycles + 0.5); est > s.cpiPrevEst {
+		s.probe.CPISample(cycle, int64(cpistack.CauseEstimated), int64(est-s.cpiPrevEst))
+		s.cpiPrevEst = est
+	}
+}
+
+// CPIStack returns the run's cycle-accounting stack: the pipeline's
+// per-cause detail buckets plus the synthetic estimated bucket covering
+// fast-forwarded regions, so Total() equals SimStats().EstCycles exactly
+// under every SimPolicy.
+func (s *System) CPIStack() cpistack.Stack {
+	st := *s.cpu.CPIStack()
+	st.Buckets[cpistack.CauseEstimated] = uint64(s.simFFCycles + 0.5)
+	return st
 }
 
 // MappedTraces returns how many distinct traces were successfully mapped.
@@ -421,6 +475,7 @@ func (s *System) abortSessionForSample() {
 		s.probe.MapEnd(s.cpu.Cycle(), s.sessionKey.AnchorPC, probe.MapAborted, 0)
 	}
 	s.session = nil
+	s.cpu.SetMapperActive(false)
 }
 
 // checkSession reaps a finished or failed mapping session.
@@ -438,6 +493,7 @@ func (s *System) checkSession() {
 			s.probe.MapEnd(s.cpu.Cycle(), s.sessionKey.AnchorPC, probe.MapDone, len(cfg.Insts))
 		}
 		s.session = nil
+		s.cpu.SetMapperActive(false)
 	case mapper.SessionFailed:
 		if s.probe != nil {
 			outcome := probe.MapFailed
@@ -463,6 +519,7 @@ func (s *System) checkSession() {
 			s.stats.MappingFailed++
 		}
 		s.session = nil
+		s.cpu.SetMapperActive(false)
 	}
 }
 
@@ -514,6 +571,7 @@ func (s *System) beforeFetch(pc int) (*ooo.TraceInject, bool) {
 	// Hot but unmapped: begin a mapping session; the trace instructions
 	// flow through the pipeline normally while the issue unit maps them.
 	s.session = mapper.NewSession(trace, s.params.Geometry, pc, exitPC)
+	s.cpu.SetMapperActive(true)
 	s.sessionKey = key
 	s.stats.MappingSessions++
 	s.probe.MapStart(s.cpu.Cycle(), pc, key.Dirs)
@@ -584,6 +642,7 @@ func (s *System) inject(key tcache.TraceKey, cfg *fabric.Config) *ooo.TraceInjec
 			Now:        int64(in.Cycle),
 			OrderAfter: s.lastStoreDone,
 		}, env)
+		res.ConfigWait = delay
 		if res.ExitMatches && !res.MemViolation {
 			s.lastStarts[cfg] = res.StartTimes
 			if res.LastStoreDone > s.lastStoreDone {

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dynaspam/internal/core"
+	"dynaspam/internal/cpistack"
+	"dynaspam/internal/runner"
+	"dynaspam/internal/workloads"
+)
+
+// cpiSuite is the sum-exactness corpus: every built-in workload plus the
+// two extended ones (SPMV, SC), so the invariant is checked across every
+// control-flow and memory idiom the suite exercises.
+func cpiSuite(t *testing.T) []*workloads.Workload {
+	t.Helper()
+	ws := workloads.All()
+	for _, ab := range []string{"SPMV", "SC"} {
+		w, err := workloads.ByAbbrev(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// cpiPolicies are the three fidelity policies the invariant must hold
+// under. The sampled geometry is shrunk so every workload actually
+// alternates detail and fast-forward within its instruction budget.
+var cpiPolicies = []core.SimPolicy{
+	{Mode: core.SimFull},
+	{Mode: core.SimFastForward},
+	{Mode: core.SimSampled, FFInterval: 2000, Warmup: 300, DetailWindow: 1000},
+}
+
+// TestCPIStackSumExact is the cycle-accounting closure invariant: for every
+// workload under every SimPolicy, the CPI stack's buckets sum exactly to
+// the run's reported cycles (EstCycles under reduced fidelity), and the
+// stack is bit-identical between a serial and a parallel sweep.
+func TestCPIStackSumExact(t *testing.T) {
+	ws := cpiSuite(t)
+	var jobs []runner.Job[*RunResult]
+	var labels []string
+	for _, w := range ws {
+		for _, pol := range cpiPolicies {
+			w, pol := w, pol
+			p := params(core.ModeAccel)
+			p.Sim = pol
+			labels = append(labels, fmt.Sprintf("%s/%v", w.Abbrev, pol.Mode))
+			jobs = append(jobs, runner.Job[*RunResult]{
+				Label: labels[len(labels)-1],
+				Run: func(ctx context.Context) (*RunResult, error) {
+					return RunCtx(ctx, w, p)
+				},
+			})
+		}
+	}
+	serial, err := runner.Run(context.Background(), runner.Options{Parallelism: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runner.Run(context.Background(), runner.Options{Parallelism: 4}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range serial {
+		if total := r.CPI.Total(); total != r.Cycles {
+			t.Errorf("%s: CPI stack sums to %d, run took %d cycles (lost %d)",
+				labels[i], total, r.Cycles, int64(r.Cycles)-int64(total))
+		}
+		if r.Sim.FFInsts > 0 && r.CPI.Get(cpistack.CauseEstimated) == 0 {
+			t.Errorf("%s: fast-forwarded %d insts but the estimated bucket is empty",
+				labels[i], r.Sim.FFInsts)
+		}
+		if r.Sim.FFInsts == 0 && r.CPI.Get(cpistack.CauseEstimated) != 0 {
+			t.Errorf("%s: full-detail run charged %d cycles to the estimated bucket",
+				labels[i], r.CPI.Get(cpistack.CauseEstimated))
+		}
+		if r.CPI != parallel[i].CPI {
+			t.Errorf("%s: CPI stack differs between 1 and 4 workers:\n  j1: %v\n  j4: %v",
+				labels[i], r.CPI.Buckets, parallel[i].CPI.Buckets)
+		}
+	}
+}
+
+// TestCPIStackAttributionConsistency pins the stack's buckets to the
+// independently maintained framework counters on a squash-heavy accel BFS
+// run: fabric causes appear iff the fabric ran, squash-recovery buckets
+// appear iff the matching SquashKind fired, and a baseline run charges no
+// fabric or mapper cycles at all.
+func TestCPIStackAttributionConsistency(t *testing.T) {
+	w, err := workloads.ByAbbrev("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel, err := Run(w, params(core.ModeAccel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accel.Core.Offloads == 0 {
+		t.Fatal("accel BFS offloaded nothing; attribution check is vacuous")
+	}
+	if accel.CPI.Get(cpistack.CauseFabricEval)+accel.CPI.Get(cpistack.CauseFabricConfigWait) == 0 {
+		t.Error("fabric ran invocations but no cycles charged to fabric_eval/fabric_config_wait")
+	}
+	if accel.Core.MappingSessions > 0 && accel.CPI.Get(cpistack.CauseMapper) == 0 {
+		t.Error("mapping sessions ran but no cycles charged to mapper")
+	}
+	if accel.Core.BranchExits > 0 && accel.CPI.Get(cpistack.CauseFabricSquashBranchExit) == 0 {
+		t.Errorf("%d branch-exit squashes but no fabric_squash_branch_exit cycles", accel.Core.BranchExits)
+	}
+	if accel.Core.BranchExits == 0 && accel.CPI.Get(cpistack.CauseFabricSquashBranchExit) != 0 {
+		t.Error("fabric_squash_branch_exit cycles without a branch-exit squash")
+	}
+	if accel.CPU.BranchMispredicts > 0 && accel.CPI.Get(cpistack.CauseSquashBranch) == 0 {
+		t.Errorf("%d mispredicts but no squash_branch cycles", accel.CPU.BranchMispredicts)
+	}
+
+	base, err := Run(w, params(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []cpistack.Cause{
+		cpistack.CauseFabricConfigWait, cpistack.CauseFabricEval,
+		cpistack.CauseFabricSquashBranchExit, cpistack.CauseFabricSquashMemOrder,
+		cpistack.CauseMapper, cpistack.CauseEstimated,
+	} {
+		if v := base.CPI.Get(c); v != 0 {
+			t.Errorf("baseline charged %d cycles to %v", v, c)
+		}
+	}
+	if total := base.CPI.Total(); total != base.Cycles {
+		t.Errorf("baseline stack sums to %d, run took %d cycles", total, base.Cycles)
+	}
+}
+
+// TestCPIStackJournalKeys asserts the journal metric spelling: one
+// cpi_<cause> key per taxonomy entry, summing exactly to the cycles key.
+func TestCPIStackJournalKeys(t *testing.T) {
+	w, err := workloads.ByAbbrev("PF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(w, params(core.ModeAccel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.JournalMetrics()
+	var sum float64
+	for _, c := range cpistack.Causes() {
+		v, ok := m["cpi_"+c.String()]
+		if !ok {
+			t.Fatalf("journal metrics missing cpi_%s", c)
+		}
+		sum += v
+	}
+	if sum != m["cycles"] {
+		t.Errorf("journal cpi_* keys sum to %v, cycles is %v", sum, m["cycles"])
+	}
+}

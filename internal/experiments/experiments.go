@@ -25,6 +25,7 @@ import (
 
 	"dynaspam/internal/cfgcache"
 	"dynaspam/internal/core"
+	"dynaspam/internal/cpistack"
 	"dynaspam/internal/energy"
 	"dynaspam/internal/fabric"
 	"dynaspam/internal/ooo"
@@ -71,6 +72,12 @@ type RunResult struct {
 	Fabric fabric.Stats
 	TCache tcache.Stats
 	Cfg    cfgcache.Stats
+
+	// CPI is the run's cycle-accounting stack (internal/cpistack): every
+	// counted cycle attributed to exactly one cause, with fast-forwarded
+	// regions in the estimated bucket, so CPI.Total() == Cycles under every
+	// SimPolicy.
+	CPI cpistack.Stack
 
 	// Probe is the observability tracer attached to the run via
 	// RunProbedCtx (nil for plain runs).
@@ -127,6 +134,12 @@ func (r *RunResult) JournalMetrics() map[string]float64 {
 		"sim_detail_insts": float64(r.Sim.DetailInsts),
 		"sim_windows":      float64(r.Sim.Windows),
 	}
+	// The cycle-accounting stack, one key per cause. Σ cpi_* == cycles
+	// exactly (the cpistack invariant), so journal readers can recompute
+	// shares without a separate total.
+	for _, c := range cpistack.Causes() {
+		m["cpi_"+c.String()] = float64(r.CPI.Get(c))
+	}
 	// With a probe attached, fold its registry in: counters plus histogram
 	// count/sum/mean/bucket keys. Key sets are disjoint by construction
 	// (probe metric names never collide with the literals above), and each
@@ -168,6 +181,7 @@ func RunProbedCtx(ctx context.Context, w *workloads.Workload, params core.Params
 	if err := sys.Verify(); err != nil {
 		return nil, fmt.Errorf("%s/%v: %w", w.Abbrev, params.Mode, err)
 	}
+	sys.FlushCPISamples()
 	golden := w.GoldenMemory()
 	if eq, diff := golden.Equal(m); !eq {
 		return nil, fmt.Errorf("%s/%v: architectural mismatch: %s", w.Abbrev, params.Mode, diff)
@@ -220,7 +234,19 @@ func RunProbedCtx(ctx context.Context, w *workloads.Workload, params core.Params
 		TCache:          sys.TCache().Stats(),
 		Cfg:             sys.CfgCache().Stats(),
 		Sim:             sys.SimStats(),
+		CPI:             sys.CPIStack(),
 		Probe:           p,
+	}
+	// Fold the exact end-of-run stack into the probe registry so the
+	// cycle-accounting totals flow through the telemetry aggregator (and
+	// its per-job partitions) to /metrics like every other probe counter.
+	if p != nil {
+		reg := p.Metrics()
+		for _, c := range cpistack.Causes() {
+			if v := res.CPI.Get(c); v > 0 {
+				reg.Counter("cpi_cycles_"+c.String(), float64(v))
+			}
+		}
 	}
 	if sim := res.Sim; sim.FFInsts > 0 {
 		// Reduced fidelity: extrapolate the detailed measurements to the

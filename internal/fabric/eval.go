@@ -570,9 +570,9 @@ func (f *Fabric) finish(res *ooo.TraceResult, cfg *Config, now, maxDone int64, o
 			}
 			f.scratch.stripeCfg = cfg
 		}
-		for _, n := range f.scratch.perStripe[:f.Geom.Stripes] {
+		for stripe, n := range f.scratch.perStripe[:f.Geom.Stripes] {
 			if n > 0 {
-				f.probe.ObserveStripeOccupancy(n)
+				f.probe.StripeOccupancy(uint64(now), int64(stripe), int64(n))
 			}
 		}
 	}

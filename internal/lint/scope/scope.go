@@ -55,6 +55,15 @@ func Spans(path string) bool {
 	return path == Module+"/internal/spans"
 }
 
+// Cpistack reports whether path is the cycle-accounting taxonomy package.
+// Its cause names are a public contract (journal keys, metric labels,
+// counter-track series all key on them), so its exported API must stay
+// documented, and its Stack type is shared across the sweep workers, so it
+// joins the lock-order scope.
+func Cpistack(path string) bool {
+	return path == Module+"/internal/cpistack"
+}
+
 // InModule reports whether path is any package of this module, including
 // the linter itself.
 func InModule(path string) bool {
@@ -65,13 +74,13 @@ func InModule(path string) bool {
 // invariants: the concurrent service planes (telemetry, jobs) whose
 // tracker/aggregator/queue mutex structure invites ordering cycles.
 func LockChecked(path string) bool {
-	return Telemetry(path) || Jobs(path) || Spans(path)
+	return Telemetry(path) || Jobs(path) || Spans(path) || Cpistack(path)
 }
 
 // Documented reports whether path's exported API must carry doc comments
 // (doccheck): the operational service layer plus the linter itself.
 func Documented(path string) bool {
-	return Runner(path) || Telemetry(path) || Jobs(path) || Spans(path) || Lint(path)
+	return Runner(path) || Telemetry(path) || Jobs(path) || Spans(path) || Cpistack(path) || Lint(path)
 }
 
 // Sim reports whether path is one of the measured simulator packages.

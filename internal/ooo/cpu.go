@@ -7,6 +7,7 @@ import (
 
 	"dynaspam/internal/branch"
 	"dynaspam/internal/cache"
+	"dynaspam/internal/cpistack"
 	"dynaspam/internal/isa"
 	"dynaspam/internal/mem"
 	"dynaspam/internal/memdep"
@@ -55,6 +56,10 @@ type ROBEntry struct {
 	Trace        *TraceInject
 	TraceRes     *TraceResult
 	DispatchedAt uint64
+	// evalStartAt is the cycle fabric evaluation began (issueTrace);
+	// cycle accounting splits head-of-ROB occupancy into config-wait and
+	// evaluation against it.
+	evalStartAt uint64
 	// traceLiveOutPhys holds the physical registers allocated for the
 	// invocation's live-outs; traceOldPhys the mappings they replaced.
 	traceLiveOutPhys []int
@@ -173,6 +178,27 @@ type CPU struct {
 	// Per-FU-unit next-free cycle, indexed by pool then unit.
 	fuFree [isa.NumFUTypes][]uint64
 
+	// Cycle accounting (internal/cpistack). classifyCycle charges every
+	// counted cycle to exactly one cause, so cpi.Total() == stats.Cycles
+	// at all times — the sum-exactness invariant the cpistack tests pin.
+	cpi cpistack.Stack
+	// stallCause is the structural resource that blocked rename last
+	// cycle (causeNone when rename was not structurally blocked); it is
+	// consulted one cycle later because rename runs after classifyCycle
+	// within a step, a deterministic one-cycle attribution skew.
+	stallCause cpistack.Cause
+	// recoverCause is the active squash-recovery window: set at squash
+	// initiation (latest squash wins), cleared by the first subsequent
+	// commit. Zero-commit cycles inside the window charge to it.
+	recoverCause cpistack.Cause
+	// mapperActive marks an open mapping session (set by the framework
+	// via SetMapperActive); zero-commit cycles charge to CauseMapper.
+	mapperActive bool
+	// cpiSampler, when installed, fires every cpiSamplePeriod cycles so
+	// observers can export CPI-stack deltas as a time series. Nil (the
+	// default) adds one predictable branch to the cycle loop.
+	cpiSampler func(cycle uint64)
+
 	// Scratch state owned by the CPU so the per-cycle loop is allocation
 	// free in steady state. Contents are valid only within the pipeline
 	// stage that fills them.
@@ -188,6 +214,14 @@ type CPU struct {
 
 	stats Stats
 }
+
+// causeNone marks "no cause recorded" in stallCause/recoverCause; it is
+// never a valid bucket index.
+const causeNone = cpistack.NumCauses
+
+// cpiSamplePeriod is the cpiSampler firing period in cycles (power of two;
+// the hot loop masks instead of dividing).
+const cpiSamplePeriod = 4096
 
 // New builds a CPU over prog and memory m. A nil hierarchy gets the default
 // Table 4 hierarchy; nil predictor configs inside cfg are not allowed (use
@@ -215,6 +249,9 @@ func New(cfg Config, prog *program.Program, m *mem.Memory, hier *cache.Hierarchy
 		loads:    make([]*ROBEntry, 0, cfg.LQSize),
 		strs:     make([]*ROBEntry, 0, cfg.SQSize),
 		freeList: make([]int, 0, cfg.PhysRegs),
+
+		stallCause:   causeNone,
+		recoverCause: causeNone,
 	}
 	// Phys reg 0 is the always-zero register; all arch regs start mapped
 	// to it (initial architectural state is zero).
@@ -342,6 +379,21 @@ func (c *CPU) SetHooks(h Hooks) { c.hooks = h }
 
 // Stats returns a copy of the activity counters.
 func (c *CPU) Stats() Stats { return c.stats }
+
+// CPIStack returns the pipeline's cycle-accounting stack. The pointer
+// aliases live CPU state: read it between steps or after the run; never
+// mutate it. Its Total() equals Stats().Cycles at every step boundary.
+func (c *CPU) CPIStack() *cpistack.Stack { return &c.cpi }
+
+// SetMapperActive marks whether a mapping session currently holds the
+// pipeline; zero-commit cycles while active are charged to CauseMapper.
+// The DynaSpAM framework toggles it at session start and reap.
+func (c *CPU) SetMapperActive(active bool) { c.mapperActive = active }
+
+// SetCPISampler installs fn, invoked with the current cycle every
+// cpiSamplePeriod (4096) cycles so observers can stream CPI-stack deltas
+// (see CPIStack). Pass nil to remove. The callback must not mutate the CPU.
+func (c *CPU) SetCPISampler(fn func(cycle uint64)) { c.cpiSampler = fn }
 
 // Cycle returns the current cycle.
 func (c *CPU) Cycle() uint64 { return c.cycle }
@@ -522,16 +574,82 @@ func (c *CPU) DrainCtx(ctx context.Context) error {
 // step advances one cycle. Stages run back-to-front so same-cycle
 // producer→consumer flow matches a real pipeline's latch behaviour.
 func (c *CPU) step() {
+	committedBefore := c.stats.Committed
 	c.commit()
 	if c.stats.HaltSeen {
+		// The halt cycle is not counted in stats.Cycles (early return
+		// before the increment below), so it is not classified either:
+		// the stack stays equal to the cycle counter.
 		return
 	}
+	c.classifyCycle(c.stats.Committed - committedBefore)
 	c.writeback()
 	c.issue()
 	c.renameDispatch()
 	c.fetch()
 	c.cycle++
 	c.stats.Cycles++
+	if c.cpiSampler != nil && c.cycle&(cpiSamplePeriod-1) == 0 {
+		c.cpiSampler(c.cycle)
+	}
+}
+
+// classifyCycle charges the commit-slot cycle that commit() just consumed
+// to exactly one cpistack cause (head-of-ROB interval analysis). It runs
+// once per counted cycle, immediately after commit, so Σ buckets ==
+// stats.Cycles by construction. Zero-commit precedence, most to least
+// specific:
+//
+//  1. an active squash-recovery window (set at squash initiation, latest
+//     squash wins, cleared by the first commit after it);
+//  2. an open mapping session (CauseMapper);
+//  3. empty ROB → front-end starvation (icache miss vs. generic fetch);
+//  4. head is an evaluating trace invocation → config-wait during its
+//     startup delay, fabric-eval after;
+//  5. head is an issued load/store → memory;
+//  6. the structural resource that blocked rename last cycle (rename runs
+//     after classify, a deterministic one-cycle skew);
+//  7. otherwise plain dependency/bandwidth stall (CauseExecDep) — this
+//     also covers a head trace still waiting for its live-ins.
+func (c *CPU) classifyCycle(commits uint64) {
+	stall := c.stallCause
+	c.stallCause = causeNone
+	if commits > 0 {
+		c.recoverCause = causeNone
+		c.cpi.Buckets[cpistack.CauseBase]++
+		return
+	}
+	if c.recoverCause != causeNone {
+		c.cpi.Buckets[c.recoverCause]++
+		return
+	}
+	if c.mapperActive {
+		c.cpi.Buckets[cpistack.CauseMapper]++
+		return
+	}
+	if c.robLen() == 0 {
+		if c.cycle < c.fetchStall {
+			c.cpi.Buckets[cpistack.CauseFrontendICache]++
+		} else {
+			c.cpi.Buckets[cpistack.CauseFrontendFetch]++
+		}
+		return
+	}
+	h := c.robLive()[0]
+	switch {
+	case h.IsTrace() && h.TraceRes != nil:
+		if h.TraceRes.ConfigWait > 0 && c.cycle-h.evalStartAt <= uint64(h.TraceRes.ConfigWait) {
+			c.cpi.Buckets[cpistack.CauseFabricConfigWait]++
+		} else {
+			c.cpi.Buckets[cpistack.CauseFabricEval]++
+		}
+	case !h.IsTrace() && h.Issued && !h.Executed && (h.Inst.Op.IsLoad() || h.Inst.Op.IsStore()):
+		c.cpi.Buckets[cpistack.CauseMemory]++
+	case stall != causeNone:
+		c.cpi.Buckets[stall]++
+	default:
+		c.cpi.Buckets[cpistack.CauseExecDep]++
+	}
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -663,6 +781,7 @@ func (c *CPU) renameDispatch() {
 			return
 		}
 		if c.robLen() >= c.cfg.ROBSize {
+			c.stallCause = cpistack.CauseStructROB
 			return
 		}
 		if e.IsTrace() {
@@ -690,16 +809,20 @@ func (c *CPU) renameInst(e *ROBEntry) bool {
 	in := &e.Inst
 	needsRS := in.Op != isa.OpHalt && in.Op != isa.OpNop
 	if needsRS && len(c.rs) >= c.cfg.RSSize {
+		c.stallCause = cpistack.CauseStructRS
 		return false
 	}
 	if in.Op.IsLoad() && len(c.loads) >= c.cfg.LQSize {
+		c.stallCause = cpistack.CauseStructLQ
 		return false
 	}
 	if in.Op.IsStore() && len(c.strs) >= c.cfg.SQSize {
+		c.stallCause = cpistack.CauseStructSQ
 		return false
 	}
 	hasDest := in.Op.HasDest() && in.Dest != isa.RegZero
 	if hasDest && len(c.freeList) == 0 {
+		c.stallCause = cpistack.CauseStructPhysReg
 		return false
 	}
 	srcs, nsrc := in.Sources()
@@ -749,6 +872,7 @@ func (c *CPU) renameTrace(e *ROBEntry) bool {
 		}
 	}
 	if need > len(c.freeList) {
+		c.stallCause = cpistack.CauseStructPhysReg
 		return false
 	}
 	e.traceLiveInPhys = resizeInts(e.traceLiveInPhys, len(tr.LiveIns))
@@ -1097,6 +1221,7 @@ func (c *CPU) issueTrace(e *ROBEntry) {
 	c.liveInBuf = c.liveInBuf[:len(tr.LiveIns)]
 	c.arrivalBuf = c.arrivalBuf[:len(tr.LiveIns)]
 	c.readMemSeq = e.Seq
+	e.evalStartAt = c.cycle
 	in := TraceInput{
 		LiveIns:  c.liveInBuf,
 		Arrivals: c.arrivalBuf,
@@ -1266,6 +1391,7 @@ func (c *CPU) writebackBranch(e *ROBEntry) {
 		// the actual outcome.
 		c.bp.Restore(e.HistAtPred)
 		c.bp.SpeculateHistory(e.Taken)
+		c.recoverCause = cpistack.CauseSquashBranch
 		c.squashAfter(e.Seq, e.Target)
 	}
 }
@@ -1329,8 +1455,10 @@ func (c *CPU) checkViolation(e *ROBEntry) bool {
 		return false
 	}
 	c.stats.MemViolations++
+	c.recoverCause = cpistack.CauseSquashMemOrder
 	if victim.IsTrace() {
 		c.stats.TraceSquashes++
+		c.recoverCause = cpistack.CauseFabricSquashMemOrder
 		if victim.Trace.OnSquash != nil {
 			victim.Trace.OnSquash(SquashMemOrder)
 		}
@@ -1369,6 +1497,7 @@ func (c *CPU) traceStoreViolations(e *ROBEntry) bool {
 		return false
 	}
 	c.stats.MemViolations++
+	c.recoverCause = cpistack.CauseSquashMemOrder
 	c.squashFrom(victim.Seq, victim.PC)
 	return true
 }
@@ -1390,8 +1519,10 @@ func (c *CPU) writebackTraceDone(e *ROBEntry) bool {
 	res := e.TraceRes
 	if !res.ExitMatches || res.MemViolation {
 		kind := SquashBranchExit
+		c.recoverCause = cpistack.CauseFabricSquashBranchExit
 		if res.MemViolation {
 			kind = SquashMemOrder
+			c.recoverCause = cpistack.CauseFabricSquashMemOrder
 			c.stats.MemViolations++
 		}
 		c.stats.TraceSquashes++

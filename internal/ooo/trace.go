@@ -123,6 +123,11 @@ type TraceResult struct {
 	// youngest store (0 when there are none); conservative mode orders
 	// the next invocation's memory operations after it.
 	LastStoreDone int64
+	// ConfigWait is the reconfiguration (startup) delay charged at the
+	// front of Latency, in cycles (0 when the configuration was already
+	// resident). Cycle accounting splits the invocation's head-of-ROB
+	// occupancy into config-wait and evaluation using it.
+	ConfigWait int
 }
 
 // TraceInject describes a fat atomic trace invocation handed to fetch by the

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"dynaspam/internal/cpistack"
 )
 
 // Chrome trace-event exporter. The output is the JSON Object Format of the
@@ -157,13 +159,41 @@ func emitRun(emit func(chromeEvent) error, run TraceRun, pid int) error {
 	}
 
 	// Counter + instant events, in recording order on the framework thread.
-	for _, e := range run.Events {
+	// CPI-stack samples and stripe-occupancy readings arrive as bursts of
+	// same-cycle events (one per cause / stripe); each burst folds into a
+	// single counter event whose args carry one series per key, which
+	// Perfetto renders as a stacked time-series track.
+	events := run.Events
+	for i := 0; i < len(events); i++ {
+		e := events[i]
 		var ev chromeEvent
 		switch e.Kind {
 		case EvFIFOOcc:
 			ev = chromeEvent{
 				Name: "fifo_occupancy", Ph: "C", Ts: e.Cycle, Pid: pid, Tid: 0,
 				Args: map[string]any{"invocations": e.A},
+			}
+		case EvCPISample:
+			args := map[string]any{}
+			j := i
+			for ; j < len(events) && events[j].Kind == EvCPISample && events[j].Cycle == e.Cycle; j++ {
+				args[cpistack.Cause(events[j].A).String()] = events[j].B
+			}
+			i = j - 1
+			ev = chromeEvent{
+				Name: "cpi_stack", Ph: "C", Ts: e.Cycle, Pid: pid, Tid: 0,
+				Args: args,
+			}
+		case EvStripeOcc:
+			args := map[string]any{}
+			j := i
+			for ; j < len(events) && events[j].Kind == EvStripeOcc && events[j].Cycle == e.Cycle; j++ {
+				args[fmt.Sprintf("stripe%02d", events[j].A)] = events[j].B
+			}
+			i = j - 1
+			ev = chromeEvent{
+				Name: "stripe_occupancy", Ph: "C", Ts: e.Cycle, Pid: pid, Tid: 0,
+				Args: args,
 			}
 		case EvSquash:
 			ev = instant(pid, e.Cycle, "squash", map[string]any{"oldest_seq": e.Seq})

@@ -88,6 +88,14 @@ const (
 	// EvFabricViol: the fabric detected an intra-invocation memory-order
 	// violation. PC=load PC.
 	EvFabricViol
+	// EvCPISample: periodic CPI-stack flush. A=cpistack.Cause as int64,
+	// B=cycles charged to that cause since the previous flush. All samples
+	// of one flush share a Cycle; the Chrome exporter groups them into one
+	// stacked counter row per flush.
+	EvCPISample
+	// EvStripeOcc: per-stripe PE occupancy of one fabric invocation.
+	// A=stripe index, B=powered PEs in that stripe.
+	EvStripeOcc
 
 	numKinds
 )
@@ -100,7 +108,7 @@ func (k Kind) String() string {
 		"trace-eval-end", "trace-commit", "trace-squash", "fifo-occ",
 		"map-start", "map-end", "hot", "cfg-store", "cfg-ready",
 		"cfg-evict", "reconfig", "fabric-eval", "fabric-exit",
-		"fabric-viol",
+		"fabric-viol", "cpi-sample", "stripe-occ",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -512,4 +520,29 @@ func (p *Probe) ObserveStripeOccupancy(pes int) {
 		return
 	}
 	p.reg.Observe(MetricStripeOcc, float64(pes))
+}
+
+// StripeOccupancy is ObserveStripeOccupancy with the invocation's cycle and
+// the stripe index attached: it feeds the same histogram and additionally
+// records an EvStripeOcc event, which the Chrome exporter renders as a
+// per-stripe counter track.
+func (p *Probe) StripeOccupancy(cycle uint64, stripe, pes int64) {
+	if p == nil {
+		return
+	}
+	p.reg.Observe(MetricStripeOcc, float64(pes))
+	p.record(Event{Cycle: cycle, PC: -1, A: stripe, B: pes, Kind: EvStripeOcc})
+}
+
+// --------------------------------------------- cycle-accounting samples --
+
+// CPISample records that delta cycles were charged to the cpistack cause
+// since the previous sample. The core framework flushes one sample per
+// nonzero cause every sampling period (and once at end of run), all
+// sharing the same cycle stamp.
+func (p *Probe) CPISample(cycle uint64, cause, delta int64) {
+	if p == nil {
+		return
+	}
+	p.record(Event{Cycle: cycle, PC: -1, A: cause, B: delta, Kind: EvCPISample})
 }

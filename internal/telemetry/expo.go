@@ -203,6 +203,65 @@ func writeJobExports(e *expoWriter, jobs []JobExport) {
 	}
 }
 
+// cpiCounterPrefix is the probe-registry spelling of the cycle-accounting
+// buckets (internal/cpistack cause names appended); writeCPIStack re-renders
+// them as labeled families so dashboards can stack the causes of one series
+// instead of juggling eighteen.
+const cpiCounterPrefix = "cpi_cycles_"
+
+// writeCPIStack renders the cycle-accounting stack as cause-labeled
+// families: dynaspam_cpistack_cycles_total{cause=...} for the cross-job
+// total and dynaspam_job_cpistack_cycles_total{cause=...,job_id=...} per
+// job partition. The same numbers also appear as the generic
+// dynaspam_sim_cpi_cycles_*_total counters rendered by writeExport; the
+// labeled form is the dashboard-friendly one, the generic form falls out of
+// the registry plumbing. Both sum exactly to the merged runs' total cycles.
+func writeCPIStack(e *expoWriter, ex probe.Export, jobs []JobExport) {
+	causes := make([]string, 0, 8)
+	//lint:allow mapiter collect-then-sort: sort.Strings below makes causes order-independent
+	for name := range ex.Counters {
+		if strings.HasPrefix(name, cpiCounterPrefix) {
+			causes = append(causes, strings.TrimPrefix(name, cpiCounterPrefix))
+		}
+	}
+	sort.Strings(causes)
+	if len(causes) > 0 {
+		const full = "dynaspam_cpistack_cycles_total"
+		e.header(full, "Cycles attributed to each cycle-accounting cause, summed across finished sweep cells; causes sum exactly to total cycles.", "counter")
+		for _, c := range causes {
+			e.sample(full, []label{{"cause", c}}, ex.Counters[cpiCounterPrefix+c])
+		}
+	}
+
+	jobCauses := unionNames(jobs, func(ex probe.Export) map[string]float64 { return ex.Counters })
+	var samples []ExtraSample
+	for _, name := range jobCauses {
+		if !strings.HasPrefix(name, cpiCounterPrefix) {
+			continue
+		}
+		c := strings.TrimPrefix(name, cpiCounterPrefix)
+		for _, j := range jobs {
+			if v, ok := j.Export.Counters[name]; ok {
+				samples = append(samples, ExtraSample{
+					Labels: []Label{{"cause", c}, {"job_id", j.JobID}},
+					Value:  v,
+				})
+			}
+		}
+	}
+	if len(samples) > 0 {
+		const full = "dynaspam_job_cpistack_cycles_total"
+		e.header(full, "Cycles attributed to each cycle-accounting cause within one job's finished cells.", "counter")
+		for _, s := range samples {
+			ls := make([]label, len(s.Labels))
+			for i, l := range s.Labels {
+				ls[i] = label{l.Key, l.Value}
+			}
+			e.sample(full, ls, s.Value)
+		}
+	}
+}
+
 // unionNames collects the sorted union of metric names across job
 // partitions, selected by pick (counters or gauges).
 func unionNames(jobs []JobExport, pick func(probe.Export) map[string]float64) []string {

@@ -237,6 +237,7 @@ func writeAggregate(e *expoWriter, agg *Aggregator) {
 	e.sample("dynaspam_probe_events_dropped_total", nil, agg.EventsDropped())
 	writeExport(e, agg.Export())
 	writeJobExports(e, agg.JobExports())
+	writeCPIStack(e, agg.Export(), agg.JobExports())
 }
 
 // writeRuntime renders go_* process-health metrics from the sampler.
